@@ -1,0 +1,74 @@
+//! Thread-local buffer plumbing shared by the baseline allocators.
+//!
+//! Mirrors the core crate's cache registry: per-thread, per-allocator
+//! vectors of cached block addresses, drained back to the owner when the
+//! thread exits so repeatedly spawned threads (the Larson workload) do
+//! not strand memory.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Weak};
+
+/// Implemented by allocators that own thread-local buffers.
+pub(crate) trait CacheOwner: Send + Sync + 'static {
+    /// Return every cached block to the central structures.
+    fn drain(&self, caches: &mut [Vec<usize>]);
+    /// Unique id of this allocator instance.
+    fn cache_id(&self) -> u64;
+}
+
+struct Entry {
+    id: u64,
+    owner: Weak<dyn CacheOwner>,
+    caches: Vec<Vec<usize>>,
+}
+
+struct Store {
+    entries: Vec<Entry>,
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        for e in &mut self.entries {
+            if let Some(owner) = e.owner.upgrade() {
+                owner.drain(&mut e.caches);
+            }
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<Store> = const { RefCell::new(Store { entries: Vec::new() }) };
+}
+
+/// Run `f` on the calling thread's cache vector for `owner`.
+pub(crate) fn with_caches<R>(
+    owner: &Arc<impl CacheOwner + Sized>,
+    nclasses: usize,
+    f: impl FnOnce(&mut [Vec<usize>]) -> R,
+) -> R {
+    let id = owner.cache_id();
+    TLS.with(|tls| {
+        let mut store = tls.borrow_mut();
+        let pos = store.entries.iter().position(|e| e.id == id);
+        let entry = match pos {
+            Some(p) => &mut store.entries[p],
+            None => {
+                let owner_dyn: Arc<dyn CacheOwner> = owner.clone();
+                store.entries.push(Entry {
+                    id,
+                    owner: Arc::downgrade(&owner_dyn),
+                    caches: (0..nclasses).map(|_| Vec::new()).collect(),
+                });
+                store.entries.last_mut().unwrap()
+            }
+        };
+        f(&mut entry.caches)
+    })
+}
+
+/// Allocate a fresh allocator id.
+pub(crate) fn next_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,41 @@
+//! Ablation: how the modelled flush latency drives the Ralloc-vs-baseline
+//! gap. At zero flush cost the allocators differ only in locking and
+//! bookkeeping; at Optane-like cost, eager-persistence designs (Makalu,
+//! PMDK) fall off the cliff while Ralloc barely moves — the quantitative
+//! core of the paper's argument (§6.2).
+
+use std::time::Duration;
+
+use bench::{BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, threadtest, AllocKind};
+
+fn ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_flush_cost");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let models = [
+        ("free", FlushModel::free()),
+        ("optane", FlushModel::optane()),
+        ("slow_nvm", FlushModel { flush_ns: 100, fence_ns: 400 }),
+    ];
+    for kind in [AllocKind::Ralloc, AllocKind::Makalu, AllocKind::Pmdk] {
+        for (mname, model) in models {
+            let id = format!("{}/{}", kind.name(), mname);
+            g.bench_function(BenchmarkId::new(id, 2), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, model);
+                        total += threadtest::run(&a, threadtest::Params::scaled(2, BENCH_SCALE));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

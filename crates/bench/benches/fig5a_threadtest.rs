@@ -1,0 +1,33 @@
+//! Figure 5a: Threadtest — time per run, all five allocators, thread
+//! sweep. Expected shape: Ralloc ≈ LRMalloc ≈ system allocator, roughly
+//! an order of magnitude faster than Makalu and PMDK (paper §6.2).
+
+use std::time::Duration;
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, threadtest, AllocKind};
+
+fn fig5a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5a_threadtest");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in AllocKind::all() {
+        for &t in &bench_threads() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), t), &t, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                        total += threadtest::run(&a, threadtest::Params::scaled(t, BENCH_SCALE));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5a);
+criterion_main!(benches);

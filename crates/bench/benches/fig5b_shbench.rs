@@ -1,0 +1,33 @@
+//! Figure 5b: Shbench — mixed-size stress, all five allocators.
+//! Expected shape as 5a: transient allocators and Ralloc cluster
+//! together, Makalu/PMDK ~10x slower under the Optane flush model.
+
+use std::time::Duration;
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, shbench, AllocKind};
+
+fn fig5b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5b_shbench");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in AllocKind::all() {
+        for &t in &bench_threads() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), t), &t, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                        total += shbench::run(&a, shbench::Params::scaled(t, BENCH_SCALE));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5b);
+criterion_main!(benches);

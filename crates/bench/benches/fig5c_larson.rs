@@ -1,0 +1,36 @@
+//! Figure 5c: Larson — bleeding (cross-thread frees, thread turnover).
+//! The paper reports throughput (higher is better); criterion measures
+//! the wall time of a fixed-op run, so *lower* here means *higher*
+//! paper-throughput. Expected: Ralloc up to ~37x faster than Makalu.
+
+use std::time::{Duration, Instant};
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{larson, make_allocator, AllocKind};
+
+fn fig5c(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5c_larson");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in AllocKind::all() {
+        for &t in &bench_threads() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), t), &t, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                        let start = Instant::now();
+                        let _tput = larson::run(&a, larson::Params::scaled(t, BENCH_SCALE));
+                        total += start.elapsed();
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5c);
+criterion_main!(benches);

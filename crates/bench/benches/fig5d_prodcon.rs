@@ -1,0 +1,33 @@
+//! Figure 5d: Prod-con — producer/consumer pairs over M&S queues.
+//! Expected: allocators converge at low thread counts (queue
+//! synchronization dominates), Ralloc scales past Makalu/PMDK beyond.
+
+use std::time::Duration;
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, prodcon, AllocKind};
+
+fn fig5d(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5d_prodcon");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for kind in AllocKind::all() {
+        for &t in &bench_threads() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), t), &t, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                        total += prodcon::run(&a, prodcon::Params::scaled(t, BENCH_SCALE));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5d);
+criterion_main!(benches);

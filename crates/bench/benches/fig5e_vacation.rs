@@ -1,0 +1,33 @@
+//! Figure 5e: Vacation — STAMP-style OLTP over red-black trees,
+//! persistent allocators only (as in the paper). Expected: Ralloc
+//! fastest at every thread count; Makalu/PMDK pay eager persistence.
+
+use std::time::Duration;
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, vacation, AllocKind};
+
+fn fig5e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5e_vacation");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in AllocKind::persistent() {
+        for &t in &bench_threads() {
+            g.bench_with_input(BenchmarkId::new(kind.name(), t), &t, |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                        total += vacation::run(&a, vacation::Params::scaled(t, BENCH_SCALE));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5e);
+criterion_main!(benches);

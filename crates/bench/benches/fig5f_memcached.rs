@@ -1,0 +1,44 @@
+//! Figure 5f: memcached/YCSB-A (50/50 read/update) over the library KV
+//! store, plus the §6.3 workload-B variant. Criterion times a fixed-op
+//! run (lower = higher paper-throughput). Expected: Ralloc above Makalu
+//! and PMDK until cross-socket effects (not reproducible on one socket).
+
+use std::time::{Duration, Instant};
+
+use bench::{bench_threads, BENCH_CAPACITY, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use workloads::{make_allocator, ycsb, AllocKind};
+
+fn fig5f(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5f_memcached");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    type ParamFn = fn(usize, f64) -> ycsb::Params;
+    let variants: [(&str, ParamFn); 2] = [
+        ("ycsb_a", ycsb::Params::workload_a),
+        ("ycsb_b", ycsb::Params::workload_b),
+    ];
+    for (wl, params) in variants {
+        for kind in AllocKind::all() {
+            for &t in &bench_threads() {
+                let id = format!("{}/{}", wl, kind.name());
+                g.bench_with_input(BenchmarkId::new(id, t), &t, |b, &t| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+                            let start = Instant::now();
+                            let _ = ycsb::run(&a, params(t, BENCH_SCALE * 2.0));
+                            total += start.elapsed();
+                        }
+                        total
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig5f);
+criterion_main!(benches);

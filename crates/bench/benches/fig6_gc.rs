@@ -1,0 +1,31 @@
+//! Figure 6: recovery (GC) time versus number of reachable blocks, for
+//! the Treiber stack (6a) and the Natarajan-Mittal tree (6b). Expected
+//! shape: linear in reachable blocks, with a larger per-node constant
+//! for the tree (poorer locality) — paper §6.4.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use workloads::gcbench::{self, Structure};
+
+fn fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_gc");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (name, structure) in [("6a_stack", Structure::Stack), ("6b_tree", Structure::Tree)] {
+        for nodes in [20_000usize, 40_000, 80_000] {
+            g.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, &n| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += gcbench::run(structure, n).recovery_time;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

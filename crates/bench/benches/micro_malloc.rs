@@ -1,0 +1,39 @@
+//! Microbenchmark: the malloc/free fast path per allocator, plus the
+//! flushes-per-operation count that substantiates the paper's "pays
+//! almost nothing for persistence" claim (§1, §6.2).
+
+use std::time::Duration;
+
+use bench::BENCH_CAPACITY;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvm::FlushModel;
+use ralloc::PersistentAllocator;
+use workloads::{make_allocator, AllocKind};
+
+fn micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_malloc_free");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for kind in AllocKind::all() {
+        for size in [64usize, 400, 4096] {
+            let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+            // Warm the thread cache so we measure the steady state.
+            let warm = a.malloc(size);
+            a.free(warm);
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}/{}B", kind.name(), size), size),
+                &size,
+                |b, &sz| {
+                    b.iter(|| {
+                        let p = a.malloc(sz);
+                        std::hint::black_box(p);
+                        a.free(p);
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

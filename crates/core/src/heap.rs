@@ -1,0 +1,732 @@
+//! The Ralloc heap: initialization, allocation, deallocation, roots,
+//! shutdown, and crash simulation (paper §4.1–§4.4).
+//!
+//! ## Persistence discipline (what gets flushed online)
+//!
+//! Normal-operation flushes are limited to the **bold** fields of the
+//! paper's Figure 2:
+//!
+//! * the heap header (`magic`, length, **dirty flag**) at init/close,
+//! * the `used` superblock count, once per region expansion,
+//! * a descriptor's `size_class`/`block_size`, once per superblock (re)use,
+//! * a root slot, on `set_root`.
+//!
+//! The malloc/free fast paths flush *nothing*; the slow paths flush one
+//! cache line. Everything else — anchors, free lists, partial lists,
+//! thread caches — is transient and reconstructed by [`crate::recovery`].
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nvm::{CrashInjector, FlushModel, Mode, PmemPool};
+
+use crate::anchor::{Anchor, SbState};
+use crate::descriptor::Desc;
+use crate::gc::{trace_thunk, Trace, TraceFn};
+use crate::layout::{
+    Geometry, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
+};
+use crate::lists::DescList;
+use crate::size_class::{
+    class_block_size, class_max_count, is_small_class, size_class_of, CLASS_CONTINUATION,
+    SB_SIZE,
+};
+use crate::tcache::{self, HeapTls};
+
+static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Configuration for creating or opening a heap.
+#[derive(Clone)]
+pub struct RallocConfig {
+    /// Persistence simulation mode of the underlying pool.
+    pub mode: Mode,
+    /// Latency charged per flush/fence (benchmarks use
+    /// [`FlushModel::optane`]).
+    pub flush_model: FlushModel,
+    /// Optional crash-point injector shared with the test harness.
+    pub injector: Option<Arc<CrashInjector>>,
+    /// LRMalloc mode: skip every flush and fence. This is exactly how the
+    /// paper produced its LRMalloc baseline ("Ralloc without flush and
+    /// fence", §6.1). A transient heap cannot be recovered.
+    pub transient: bool,
+}
+
+impl Default for RallocConfig {
+    fn default() -> Self {
+        RallocConfig {
+            mode: Mode::Direct,
+            flush_model: FlushModel::default(),
+            injector: None,
+            transient: false,
+        }
+    }
+}
+
+impl RallocConfig {
+    /// Config for crash-semantics testing: tracked pool, free flushes.
+    pub fn tracked() -> Self {
+        RallocConfig { mode: Mode::Tracked, ..Default::default() }
+    }
+
+    /// Config for the LRMalloc baseline.
+    pub fn transient() -> Self {
+        RallocConfig { transient: true, ..Default::default() }
+    }
+}
+
+/// Slow-path event counters (diagnostics; the fast path counts nothing).
+#[derive(Debug, Default)]
+pub struct SlowStats {
+    /// Thread-cache refills from a partial or fresh superblock.
+    pub cache_fills: AtomicU64,
+    /// Whole-cache spills back to superblocks.
+    pub cache_flushes: AtomicU64,
+    /// Superblocks carved by expanding `used`.
+    pub sb_carved: AtomicU64,
+    /// Large allocations served.
+    pub large_allocs: AtomicU64,
+}
+
+/// Shared heap state. Public API lives on [`Ralloc`].
+pub struct HeapInner {
+    pool: PmemPool,
+    geo: Geometry,
+    id: u64,
+    transient: bool,
+    /// Bumped by crash simulation so stale thread caches are discarded.
+    generation: AtomicU64,
+    closed: AtomicBool,
+    file: Option<PathBuf>,
+    /// Transient per-root filter functions (paper's `rootsFunc`),
+    /// re-registered each run by `get_root<T>`.
+    pub(crate) root_fns: Mutex<HashMap<usize, TraceFn>>,
+    pub(crate) slow: SlowStats,
+}
+
+impl HeapInner {
+    #[inline]
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    #[inline]
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    pub(crate) fn pool(&self) -> &PmemPool {
+        &self.pool
+    }
+
+    #[inline]
+    pub(crate) fn geo(&self) -> &Geometry {
+        &self.geo
+    }
+
+    #[inline]
+    pub(crate) fn is_transient(&self) -> bool {
+        self.transient
+    }
+
+    /// Absolute address of pool offset `off`.
+    #[inline]
+    pub(crate) fn addr_of(&self, off: usize) -> usize {
+        self.pool.base() as usize + off
+    }
+
+    /// Flush+fence unless in transient (LRMalloc) mode.
+    #[inline]
+    pub(crate) fn persist(&self, off: usize, len: usize) {
+        if !self.transient {
+            self.pool.persist(off, len);
+        }
+    }
+
+    /// Number of superblocks carved so far (the paper's `used`).
+    pub(crate) fn used_sb(&self) -> usize {
+        // SAFETY: metadata offset, 8-aligned.
+        unsafe { self.pool.atomic_u64(USED_SB_OFF) }.load(Ordering::Acquire) as usize
+    }
+
+    /// Expand the used prefix of the superblock region by `n` superblocks
+    /// (paper §4.3): CAS `used` upward, then flush+fence it.
+    fn carve(&self, n: usize) -> Option<u32> {
+        // SAFETY: metadata offset, 8-aligned.
+        let used = unsafe { self.pool.atomic_u64(USED_SB_OFF) };
+        loop {
+            let u = used.load(Ordering::Acquire);
+            if u as usize + n > self.geo.max_sb {
+                return None;
+            }
+            if used
+                .compare_exchange(u, u + n as u64, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.persist(USED_SB_OFF, 8);
+                self.slow.sb_carved.fetch_add(n as u64, Ordering::Relaxed);
+                return Some(u as u32);
+            }
+        }
+    }
+
+    /// Refill a thread cache for `class` (paper §4.4): first from a
+    /// partial superblock, else from a free/fresh superblock whose entire
+    /// block population goes to the cache.
+    pub(crate) fn fill_cache(&self, class: u32, cache: &mut Vec<usize>) -> bool {
+        debug_assert!(is_small_class(class));
+        let partial = DescList::partial_list(&self.geo, class);
+        let free = DescList::free_list(&self.geo);
+        let bsize = class_block_size(class) as usize;
+        let mc = class_max_count(class);
+        loop {
+            if let Some(idx) = partial.pop(&self.pool, &self.geo) {
+                let d = Desc::new(&self.pool, &self.geo, idx);
+                let mut a = d.anchor(Ordering::Acquire);
+                let mut retired = false;
+                loop {
+                    if a.state == SbState::Empty {
+                        // Fully-free superblock found on a partial list:
+                        // retire it now (paper §4.4's lazy retirement).
+                        free.push(&self.pool, &self.geo, idx);
+                        retired = true;
+                        break;
+                    }
+                    debug_assert_eq!(a.state, SbState::Partial);
+                    // Reserve every free block: count=0, avail parked at
+                    // max_count, state FULL.
+                    match d.cas_anchor(a, Anchor::full(mc)) {
+                        Ok(()) => break,
+                        Err(cur) => a = cur,
+                    }
+                }
+                if retired {
+                    continue;
+                }
+                // We own the a.count-block chain headed at a.avail.
+                let sb_addr = self.addr_of(self.geo.sb(idx as usize));
+                let mut blk = a.avail;
+                for _ in 0..a.count {
+                    debug_assert!(blk < mc);
+                    let addr = sb_addr + blk as usize * bsize;
+                    cache.push(addr);
+                    // Free-block link: the block's first word holds the
+                    // next free block's index (bounded walk: the final
+                    // link word is never dereferenced).
+                    // SAFETY: addr is a free block we exclusively own.
+                    blk = unsafe { (*(addr as *const AtomicU64)).load(Ordering::Relaxed) } as u32;
+                }
+                self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            // No partial superblock: take a free one or carve fresh space.
+            let idx = match free.pop(&self.pool, &self.geo) {
+                Some(i) => i,
+                None => match self.carve(1) {
+                    Some(i) => i,
+                    None => return false, // out of persistent space
+                },
+            };
+            let d = Desc::new(&self.pool, &self.geo, idx);
+            // The one flush+fence of the allocation slow path: persist the
+            // superblock's size identity before any of its blocks can be
+            // handed out (paper §4, innovation 1). If a recycled
+            // superblock already carries the identical persisted identity
+            // (same class round-tripping through the free list), the
+            // flush is provably redundant and skipped.
+            let unchanged = d.size_class() == class && d.block_size() == bsize as u64;
+            d.set_size(class, bsize as u64, mc, self.transient || unchanged);
+            d.set_anchor(Anchor::full(mc), Ordering::Release);
+            let sb_addr = self.addr_of(self.geo.sb(idx as usize));
+            for i in (0..mc).rev() {
+                cache.push(sb_addr + i as usize * bsize);
+            }
+            self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+    }
+
+    /// Return one block to its superblock's internal free list, handling
+    /// the FULL→PARTIAL and →EMPTY transitions (paper §4.4).
+    pub(crate) fn push_block(&self, addr: usize) {
+        let off = addr - self.pool.base() as usize;
+        let sb = self.geo.sb_index_of(off).expect("push_block: foreign address");
+        let d = Desc::new(&self.pool, &self.geo, sb as u32);
+        let mc = d.max_count();
+        let bsize = d.block_size() as usize;
+        let blk = ((off - self.geo.sb(sb)) / bsize) as u32;
+        debug_assert!(blk < mc);
+        loop {
+            let a = d.anchor(Ordering::Acquire);
+            // Link this block ahead of the current head. `a.avail` may be
+            // the max_count sentinel; walks are bounded by count, so the
+            // stale link is never followed.
+            // SAFETY: we own this freed block until the CAS publishes it.
+            unsafe { (*(addr as *const AtomicU64)).store(a.avail as u64, Ordering::Release) };
+            let count = a.count + 1;
+            debug_assert!(count <= mc);
+            let new = Anchor {
+                avail: blk,
+                count,
+                state: if count == mc { SbState::Empty } else { SbState::Partial },
+            };
+            if d.cas_anchor(a, new).is_ok() {
+                if a.state == SbState::Full {
+                    // FULL superblocks are on no list; the thread that
+                    // makes the transition enlists the descriptor.
+                    if new.state == SbState::Empty {
+                        DescList::free_list(&self.geo).push(&self.pool, &self.geo, sb as u32);
+                    } else {
+                        DescList::partial_list(&self.geo, d.size_class()).push(
+                            &self.pool,
+                            &self.geo,
+                            sb as u32,
+                        );
+                    }
+                }
+                // PARTIAL→EMPTY keeps the descriptor on its partial list;
+                // it is retired when next popped (lazy, paper §4.4).
+                return;
+            }
+        }
+    }
+
+    /// Spill an entire thread cache back to the heap (paper §4.4: "all of
+    /// the blocks in the cache are pushed back"; contrast with Makalu's
+    /// return-half policy, §6.3).
+    pub(crate) fn spill_cache(&self, cache: &mut Vec<usize>) {
+        self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
+        while let Some(addr) = cache.pop() {
+            self.push_block(addr);
+        }
+    }
+
+    /// Drain every class cache of a TLS entry (thread exit, close).
+    pub(crate) fn drain_tls(&self, entry: &mut HeapTls) {
+        for cache in entry.caches.iter_mut() {
+            while let Some(addr) = cache.pop() {
+                self.push_block(addr);
+            }
+        }
+    }
+
+    fn malloc_large(&self, size: usize) -> *mut u8 {
+        let span = size.div_ceil(SB_SIZE);
+        // The paper always expands `used` for large allocations (§4.4).
+        // When expansion fails we additionally try the free list for
+        // single-superblock requests — a documented liveness improvement
+        // for long-running processes with bounded pools.
+        let idx = match self.carve(span) {
+            Some(i) => Some(i),
+            None if span == 1 => DescList::free_list(&self.geo).pop(&self.pool, &self.geo),
+            None => None,
+        };
+        let Some(idx) = idx else {
+            return std::ptr::null_mut();
+        };
+        // Tag interior superblocks first, then the head: all persisted
+        // before the block is returned, so a post-crash conservative trace
+        // can never misinterpret stale interior metadata (see recovery).
+        for k in 1..span {
+            Desc::new(&self.pool, &self.geo, idx + k as u32).set_size(
+                CLASS_CONTINUATION,
+                0,
+                0,
+                self.transient,
+            );
+        }
+        let head = Desc::new(&self.pool, &self.geo, idx);
+        head.set_size(0, size as u64, 1, self.transient);
+        head.set_anchor(Anchor::full(1), Ordering::Release);
+        self.slow.large_allocs.fetch_add(1, Ordering::Relaxed);
+        self.addr_of(self.geo.sb(idx as usize)) as *mut u8
+    }
+
+    fn free_large(&self, off: usize, sb: usize) {
+        let d = Desc::new(&self.pool, &self.geo, sb as u32);
+        assert_eq!(off, self.geo.sb(sb), "free: not the start of a large block");
+        let span = (d.block_size() as usize).div_ceil(SB_SIZE);
+        // Split into constituent superblocks and retire each (paper §4.4).
+        for k in 0..span {
+            let dk = Desc::new(&self.pool, &self.geo, (sb + k) as u32);
+            dk.set_anchor(Anchor { avail: 0, count: 0, state: SbState::Empty }, Ordering::Release);
+            DescList::free_list(&self.geo).push(&self.pool, &self.geo, (sb + k) as u32);
+        }
+    }
+}
+
+/// A Ralloc persistent heap handle (cheaply cloneable).
+///
+/// The API mirrors the paper's Figure 1: `init` ([`Ralloc::create`] /
+/// [`Ralloc::open_file`]), [`Ralloc::recover`], [`Ralloc::close`],
+/// [`Ralloc::malloc`], [`Ralloc::free`], [`Ralloc::set_root`] and
+/// [`Ralloc::get_root`].
+#[derive(Clone)]
+pub struct Ralloc {
+    pub(crate) inner: Arc<HeapInner>,
+}
+
+impl Ralloc {
+    // ---------------------------------------------------------- creation
+
+    /// Create a fresh in-memory heap whose superblock region holds at
+    /// least `capacity` bytes.
+    pub fn create(capacity: usize, cfg: RallocConfig) -> Ralloc {
+        let pool = PmemPool::with_options(
+            Geometry::pool_len_for_capacity(capacity),
+            cfg.mode,
+            cfg.flush_model,
+            cfg.injector.clone(),
+        );
+        Self::fresh(pool, &cfg, None)
+    }
+
+    /// The paper's `init(path, size)`: open the heap file if it exists
+    /// (returning whether a *dirty* restart — i.e. recovery — is needed),
+    /// or create it fresh. A fresh or clean start returns `false`.
+    pub fn open_file(
+        path: &Path,
+        capacity: usize,
+        cfg: RallocConfig,
+    ) -> io::Result<(Ralloc, bool)> {
+        if path.exists() {
+            let pool =
+                PmemPool::load_with(path, cfg.mode, cfg.flush_model, cfg.injector.clone())?;
+            Ok(Self::adopt(pool, &cfg, Some(path.to_path_buf())))
+        } else {
+            let pool = PmemPool::with_options(
+                Geometry::pool_len_for_capacity(capacity),
+                cfg.mode,
+                cfg.flush_model,
+                cfg.injector.clone(),
+            );
+            Ok((Self::fresh(pool, &cfg, Some(path.to_path_buf())), false))
+        }
+    }
+
+    /// Adopt a raw pool image (e.g. a crash image remapped at a new base
+    /// address). Returns the heap and whether it is dirty.
+    pub fn from_image(image: &[u8], cfg: RallocConfig) -> (Ralloc, bool) {
+        let pool = PmemPool::from_image(image, cfg.mode);
+        Self::adopt(pool, &cfg, None)
+    }
+
+    fn fresh(pool: PmemPool, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
+        let geo = Geometry::from_pool_len(pool.len());
+        // SAFETY: fresh pool, exclusive access, metadata offsets in bounds.
+        unsafe {
+            pool.write_u64(MAGIC_OFF, MAGIC);
+            pool.write_u64(POOL_LEN_OFF, pool.len() as u64);
+            pool.write_u64(MAX_SB_OFF, geo.max_sb as u64);
+            pool.write_u64(USED_SB_OFF, 0);
+            pool.write_u64(DIRTY_OFF, 1);
+        }
+        let heap = Self::build(pool, geo, cfg, file);
+        heap.inner.persist(0, 64);
+        heap
+    }
+
+    fn adopt(pool: PmemPool, cfg: &RallocConfig, file: Option<PathBuf>) -> (Ralloc, bool) {
+        // SAFETY: header reads within bounds.
+        let magic = unsafe { pool.read_u64(MAGIC_OFF) };
+        if magic != MAGIC {
+            return (Self::fresh(pool, cfg, file), false);
+        }
+        let geo = Geometry::from_pool_len(pool.len());
+        // SAFETY: header reads.
+        unsafe {
+            assert_eq!(pool.read_u64(POOL_LEN_OFF), pool.len() as u64, "pool length mismatch");
+            assert_eq!(pool.read_u64(MAX_SB_OFF), geo.max_sb as u64, "geometry mismatch");
+        }
+        // SAFETY: 8-aligned metadata word.
+        let dirty = unsafe { pool.atomic_u64(DIRTY_OFF) }.load(Ordering::Acquire) == 1;
+        let heap = Self::build(pool, geo, cfg, file);
+        // Mark dirty for the duration of this run (the paper's robust
+        // mutex acquire): any crash from here on requires recovery.
+        // SAFETY: 8-aligned metadata word.
+        unsafe { heap.inner.pool.atomic_u64(DIRTY_OFF) }.store(1, Ordering::Release);
+        heap.inner.persist(DIRTY_OFF, 8);
+        (heap, dirty)
+    }
+
+    fn build(pool: PmemPool, geo: Geometry, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
+        Ralloc {
+            inner: Arc::new(HeapInner {
+                pool,
+                geo,
+                id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
+                transient: cfg.transient,
+                generation: AtomicU64::new(0),
+                closed: AtomicBool::new(false),
+                file,
+                root_fns: Mutex::new(HashMap::new()),
+                slow: SlowStats::default(),
+            }),
+        }
+    }
+
+    // ------------------------------------------------------- allocation
+
+    /// Allocate `size` bytes; null on exhaustion (the paper's `malloc`).
+    /// Lock-free; the fast path touches only the thread-local cache.
+    pub fn malloc(&self, size: usize) -> *mut u8 {
+        let inner = &*self.inner;
+        debug_assert!(!inner.is_closed(), "malloc on closed heap");
+        match size_class_of(size) {
+            Some(class) => tcache::with_heap_tls(inner, || Arc::downgrade(&self.inner), |tls| {
+                let cache = &mut tls.caches[class as usize];
+                if let Some(addr) = cache.pop() {
+                    return addr as *mut u8;
+                }
+                if inner.fill_cache(class, cache) {
+                    cache.pop().expect("fill_cache returned empty") as *mut u8
+                } else {
+                    std::ptr::null_mut()
+                }
+            }),
+            None => inner.malloc_large(size),
+        }
+    }
+
+    /// Deallocate a block previously returned by [`Ralloc::malloc`]
+    /// (the paper's `free`). Lock-free; fast path is a cache push.
+    pub fn free(&self, ptr: *mut u8) {
+        assert!(!ptr.is_null(), "free(null)");
+        let inner = &*self.inner;
+        let off = (ptr as usize)
+            .checked_sub(inner.pool.base() as usize)
+            .expect("free: pointer below heap");
+        let sb = inner.geo.sb_index_of(off).expect("free: pointer outside superblock region");
+        let d = Desc::new(&inner.pool, &inner.geo, sb as u32);
+        let class = d.size_class();
+        if class == 0 {
+            inner.free_large(off, sb);
+            return;
+        }
+        assert!(
+            is_small_class(class),
+            "free: address inside a large allocation or corrupt descriptor"
+        );
+        debug_assert_eq!(
+            (off - inner.geo.sb(sb)) % class_block_size(class) as usize,
+            0,
+            "free: misaligned block pointer"
+        );
+        tcache::with_heap_tls(inner, || Arc::downgrade(&self.inner), |tls| {
+            let cache = &mut tls.caches[class as usize];
+            cache.push(ptr as usize);
+            // Spill when the cache exceeds one superblock's population.
+            // Strictly-greater matters: a freshly refilled cache holds
+            // exactly max_count blocks, and `>=` would make a tight
+            // malloc/free pair oscillate between a full spill and a full
+            // refill on every operation.
+            if cache.len() > class_max_count(class) as usize {
+                inner.spill_cache(cache);
+            }
+        })
+    }
+
+    /// The usable size of an allocated block (its class block size, or
+    /// the recorded size for large blocks).
+    pub fn usable_size(&self, ptr: *const u8) -> usize {
+        let inner = &*self.inner;
+        let off = (ptr as usize) - inner.pool.base() as usize;
+        let sb = inner.geo.sb_index_of(off).expect("usable_size: foreign pointer");
+        let d = Desc::new(&inner.pool, &inner.geo, sb as u32);
+        d.block_size() as usize
+    }
+
+    // ------------------------------------------------------------ roots
+
+    /// Store `ptr` as persistent root `i` (flushed and fenced). The
+    /// stored representation is a superblock-region offset, so it
+    /// survives remapping.
+    pub fn set_root<T: Trace>(&self, i: usize, ptr: *const T) {
+        self.register_root_fn(i, trace_thunk::<T>);
+        self.set_root_raw(i, ptr as *const u8);
+    }
+
+    /// Retrieve root `i` and (re-)register `T`'s filter function for it —
+    /// the paper's `getRoot<T>()`, which must be called before
+    /// [`Ralloc::recover`] for precise tracing.
+    pub fn get_root<T: Trace>(&self, i: usize) -> *mut T {
+        self.register_root_fn(i, trace_thunk::<T>);
+        self.get_root_raw(i) as *mut T
+    }
+
+    /// Untyped root store; recovery will trace it conservatively.
+    pub fn set_root_raw(&self, i: usize, ptr: *const u8) {
+        assert!(i < NUM_ROOTS, "root index out of range");
+        let inner = &*self.inner;
+        let slot = inner.geo.root(i);
+        let val = if ptr.is_null() {
+            0
+        } else {
+            let off = (ptr as usize)
+                .checked_sub(inner.addr_of(inner.geo.sb(0)))
+                .expect("set_root: pointer below superblock region");
+            assert!(
+                inner.geo.sb_index_of(inner.geo.sb(0) + off).is_some(),
+                "set_root: pointer outside superblock region"
+            );
+            off as u64 + 1
+        };
+        // SAFETY: root slot is in the metadata region, 8-aligned.
+        unsafe { inner.pool.atomic_u64(slot) }.store(val, Ordering::Release);
+        inner.persist(slot, 8);
+    }
+
+    /// Untyped root load (traced conservatively unless a typed
+    /// `get_root`/`set_root` registered a filter).
+    pub fn get_root_raw(&self, i: usize) -> *mut u8 {
+        assert!(i < NUM_ROOTS, "root index out of range");
+        let inner = &*self.inner;
+        // SAFETY: root slot in bounds, 8-aligned.
+        let raw = unsafe { inner.pool.atomic_u64(inner.geo.root(i)) }.load(Ordering::Acquire);
+        match raw.checked_sub(1) {
+            None => std::ptr::null_mut(),
+            Some(off) => (inner.addr_of(inner.geo.sb(0)) + off as usize) as *mut u8,
+        }
+    }
+
+    /// Drop any registered filter function for root `i`, forcing
+    /// conservative tracing of it (used by tests and ablations).
+    pub fn clear_root_filter(&self, i: usize) {
+        self.inner.root_fns.lock().remove(&i);
+    }
+
+    fn register_root_fn(&self, i: usize, f: TraceFn) {
+        self.inner.root_fns.lock().insert(i, f);
+    }
+
+    // -------------------------------------------------------- lifecycle
+
+    /// The paper's `close()`: drain this thread's caches, clear the dirty
+    /// indicator, and write the whole heap back for a fast clean restart.
+    /// Worker threads must have exited (their caches drain at thread
+    /// exit).
+    pub fn close(&self) -> io::Result<()> {
+        let inner = &*self.inner;
+        tcache::drain_current_thread(inner);
+        inner.closed.store(true, Ordering::Release);
+        // SAFETY: metadata word.
+        unsafe { inner.pool.atomic_u64(DIRTY_OFF) }.store(0, Ordering::Release);
+        if !inner.transient {
+            inner.pool.flush(0, inner.pool.len());
+            inner.pool.fence();
+        }
+        if let Some(path) = &inner.file {
+            inner.pool.save(path)?;
+        }
+        Ok(())
+    }
+
+    /// Simulate a full-system crash (Tracked pools only): every line not
+    /// flushed-and-fenced is lost, all thread caches are forgotten, and
+    /// the heap is left dirty. Call [`Ralloc::recover`] before further
+    /// use. Requires quiescence (no concurrent heap operations).
+    pub fn crash_simulated(&self) {
+        let inner = &*self.inner;
+        inner.pool.crash();
+        inner.generation.fetch_add(1, Ordering::AcqRel);
+        inner.closed.store(false, Ordering::Release);
+        tcache::discard_current_thread(inner);
+    }
+
+    /// Was the heap dirty at open time / is recovery pending? (The dirty
+    /// word itself, for inspection.)
+    pub fn is_dirty(&self) -> bool {
+        // SAFETY: metadata word.
+        unsafe { self.inner.pool.atomic_u64(DIRTY_OFF) }.load(Ordering::Acquire) == 1
+    }
+
+    /// Offline recovery (paper §4.5): trace from the registered roots,
+    /// then rebuild all transient metadata. Call `get_root<T>` for every
+    /// live root first, as the paper requires; unregistered roots fall
+    /// back to conservative tracing.
+    pub fn recover(&self) -> crate::recovery::RecoveryStats {
+        crate::recovery::recover(&self.inner)
+    }
+
+    /// Parallel offline recovery (paper §6.4 future work): tracing is
+    /// divided across persistent roots, sweeping across superblocks.
+    /// Equivalent to [`Ralloc::recover`] with `threads == 1`.
+    pub fn recover_parallel(&self, threads: usize) -> crate::recovery::RecoveryStats {
+        crate::recovery::recover_with(&self.inner, threads)
+    }
+
+    // ------------------------------------------------------- inspection
+
+    /// The underlying pool (benchmarks read its flush statistics).
+    pub fn pool(&self) -> &PmemPool {
+        &self.inner.pool
+    }
+
+    /// Slow-path event counters.
+    pub fn slow_stats(&self) -> &SlowStats {
+        &self.inner.slow
+    }
+
+    /// Heap geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.inner.geo
+    }
+
+    /// Superblocks carved so far.
+    pub fn used_superblocks(&self) -> usize {
+        self.inner.used_sb()
+    }
+
+    /// True when the heap runs in LRMalloc (no flush/fence) mode.
+    pub fn is_transient(&self) -> bool {
+        self.inner.is_transient()
+    }
+
+    /// Register this heap's superblock region in the process-wide RIV
+    /// region table under `id`, enabling cross-heap [`pptr::RivPtr`]
+    /// references (the paper's §4.6 near-term plan). Re-register after
+    /// every (re)open: ids are persistent, addresses are not.
+    pub fn register_riv_region(&self, id: u8) {
+        pptr::REGIONS.register(
+            id,
+            self.region_base(),
+            self.inner.geo().max_sb * SB_SIZE,
+        );
+    }
+
+    /// Absolute address of the superblock region's first byte; the base
+    /// against which region-relative offsets (roots, packed counted
+    /// pointers) are expressed.
+    pub fn region_base(&self) -> usize {
+        self.inner.addr_of(self.inner.geo.sb(0))
+    }
+
+    /// True if `ptr` lies inside this heap's superblock region.
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        (ptr as usize)
+            .checked_sub(self.inner.pool.base() as usize)
+            .and_then(|off| self.inner.geo.sb_index_of(off))
+            .is_some()
+    }
+}
+
+impl std::fmt::Debug for Ralloc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ralloc")
+            .field("id", &self.inner.id)
+            .field("used_sb", &self.inner.used_sb())
+            .field("max_sb", &self.inner.geo.max_sb)
+            .field("transient", &self.inner.transient)
+            .finish()
+    }
+}

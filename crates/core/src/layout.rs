@@ -1,0 +1,193 @@
+//! Persistent heap geometry (paper §4.2, Figure 2).
+//!
+//! A Ralloc heap is one contiguous pool divided into three regions:
+//!
+//! ```text
+//! +--------------------+---------------------+------------------------+
+//! | metadata (16 KiB)  | descriptor region   | superblock region      |
+//! | dirty flag, roots, | 64 B per superblock | size/used + superblock |
+//! | size classes, free | (1:64Ki ratio)      | array, 64 KiB units    |
+//! | list head          |                     |                        |
+//! +--------------------+---------------------+------------------------+
+//! ```
+//!
+//! The *i*-th descriptor corresponds to the *i*-th superblock, so either
+//! can be found from the other with shift/mask arithmetic. All layout is
+//! a pure function of the pool length, so nothing about it needs to be
+//! persisted beyond the pool length itself (stored in the header for
+//! validation). **Bold** fields from the paper's Figure 2 — the only ones
+//! flushed during normal operation — are: the dirty indicator, `used`,
+//! the persistent roots, and each descriptor's size-class/block-size.
+
+use crate::size_class::SB_SIZE;
+
+/// Magic number identifying a Ralloc heap image ("RALLOC\0\1").
+pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_01;
+
+/// Descriptor stride in bytes (one cache line, paper §4.2).
+pub const DESC_SIZE: usize = 64;
+
+/// Number of persistent root slots (paper §4.2: 1024).
+pub const NUM_ROOTS: usize = 1024;
+
+// ---- metadata-region field offsets ----
+
+/// Heap magic (u64).
+pub const MAGIC_OFF: usize = 0;
+/// Total pool length in bytes (u64).
+pub const POOL_LEN_OFF: usize = 8;
+/// Dirty indicator (u64: 1 = dirty). Persisted. Stands in for the paper's
+/// robust `pthread_mutex_t`.
+pub const DIRTY_OFF: usize = 16;
+/// Superblock capacity (u64), for validation on reopen.
+pub const MAX_SB_OFF: usize = 24;
+/// Number of superblocks carved so far — the paper's `used` word.
+/// Persisted (CAS + flush + fence on every expansion).
+pub const USED_SB_OFF: usize = 32;
+/// Superblock free-list head (`Counted`). Transient: reconstructed by
+/// recovery, written back only by a clean shutdown.
+pub const FREE_LIST_OFF: usize = 40;
+/// Persistent roots: `NUM_ROOTS` u64 slots, each an offset+1 into the
+/// superblock region (0 = null). Persisted on `set_root`.
+pub const ROOTS_OFF: usize = 64;
+/// Per-class partial-list heads (`Counted`), 40 slots. Transient.
+pub const PARTIAL_HEADS_OFF: usize = ROOTS_OFF + NUM_ROOTS * 8;
+
+/// Total metadata-region size (fixed, independent of heap size).
+pub const META_SIZE: usize = 16 * 1024;
+
+const _: () = assert!(PARTIAL_HEADS_OFF + 40 * 8 <= META_SIZE);
+
+/// Derived region offsets for a pool of a given length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Total pool bytes.
+    pub pool_len: usize,
+    /// Capacity in superblocks.
+    pub max_sb: usize,
+    /// Byte offset of descriptor 0.
+    pub desc_off: usize,
+    /// Byte offset of superblock 0 (64 KiB-aligned offset).
+    pub sb_off: usize,
+}
+
+impl Geometry {
+    /// Compute geometry from a pool length. The superblock array starts at
+    /// the first 64 KiB-aligned offset past the descriptors; `max_sb` is
+    /// the largest capacity that fits.
+    pub fn from_pool_len(pool_len: usize) -> Geometry {
+        assert!(
+            pool_len >= META_SIZE + SB_SIZE * 2,
+            "pool too small for a Ralloc heap: {pool_len}"
+        );
+        // Solve max_sb: META + 64*max_sb rounded up to 64K + 64K*max_sb <= len.
+        let mut max_sb = (pool_len - META_SIZE) / (DESC_SIZE + SB_SIZE);
+        loop {
+            let sb_off = (META_SIZE + max_sb * DESC_SIZE).next_multiple_of(SB_SIZE);
+            if sb_off + max_sb * SB_SIZE <= pool_len {
+                return Geometry { pool_len, max_sb, desc_off: META_SIZE, sb_off };
+            }
+            max_sb -= 1;
+        }
+    }
+
+    /// Pool length needed for a superblock-region capacity of at least
+    /// `capacity` bytes.
+    pub fn pool_len_for_capacity(capacity: usize) -> usize {
+        let sbs = capacity.div_ceil(SB_SIZE).max(2);
+        let sb_off = (META_SIZE + sbs * DESC_SIZE).next_multiple_of(SB_SIZE);
+        sb_off + sbs * SB_SIZE
+    }
+
+    /// Byte offset of descriptor `i`.
+    #[inline]
+    pub fn desc(&self, i: usize) -> usize {
+        debug_assert!(i < self.max_sb);
+        self.desc_off + i * DESC_SIZE
+    }
+
+    /// Byte offset of superblock `i`.
+    #[inline]
+    pub fn sb(&self, i: usize) -> usize {
+        debug_assert!(i < self.max_sb);
+        self.sb_off + i * SB_SIZE
+    }
+
+    /// Map a byte offset inside the superblock region to its superblock
+    /// index ("simple bit manipulation", paper §4.2).
+    #[inline]
+    pub fn sb_index_of(&self, off: usize) -> Option<usize> {
+        if off < self.sb_off || off >= self.sb_off + self.max_sb * SB_SIZE {
+            return None;
+        }
+        Some((off - self.sb_off) / SB_SIZE)
+    }
+
+    /// Byte offset of root slot `i`.
+    #[inline]
+    pub fn root(&self, i: usize) -> usize {
+        debug_assert!(i < NUM_ROOTS);
+        ROOTS_OFF + i * 8
+    }
+
+    /// Byte offset of the partial-list head for `class`.
+    #[inline]
+    pub fn partial_head(&self, class: u32) -> usize {
+        debug_assert!(class < 40);
+        PARTIAL_HEADS_OFF + class as usize * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let g = Geometry::from_pool_len(8 << 20);
+        assert!(g.desc_off >= META_SIZE);
+        assert!(g.sb_off >= g.desc_off + g.max_sb * DESC_SIZE);
+        assert_eq!(g.sb_off % SB_SIZE, 0);
+        assert!(g.sb_off + g.max_sb * SB_SIZE <= g.pool_len);
+        assert!(g.max_sb >= 100);
+    }
+
+    #[test]
+    fn capacity_round_trip() {
+        for cap in [128 * 1024, 1 << 20, 10 << 20, 1 << 30] {
+            let len = Geometry::pool_len_for_capacity(cap);
+            let g = Geometry::from_pool_len(len);
+            assert!(
+                g.max_sb * SB_SIZE >= cap,
+                "cap {cap}: got {} sbs",
+                g.max_sb
+            );
+        }
+    }
+
+    #[test]
+    fn desc_and_sb_correspondence() {
+        let g = Geometry::from_pool_len(4 << 20);
+        for i in 0..g.max_sb {
+            let off = g.sb(i);
+            assert_eq!(g.sb_index_of(off), Some(i));
+            assert_eq!(g.sb_index_of(off + SB_SIZE - 1), Some(i));
+            assert_eq!(g.desc(i), g.desc_off + i * DESC_SIZE);
+        }
+        assert_eq!(g.sb_index_of(0), None);
+        assert_eq!(g.sb_index_of(g.sb_off - 1), None);
+        assert_eq!(g.sb_index_of(g.sb_off + g.max_sb * SB_SIZE), None);
+    }
+
+    #[test]
+    fn descriptor_ratio_matches_paper() {
+        // 64 B descriptor per 64 KiB superblock = size/1024 (paper §4.3).
+        assert_eq!(SB_SIZE / DESC_SIZE, 1024);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_pool_rejected() {
+        Geometry::from_pool_len(1024);
+    }
+}

@@ -1,0 +1,244 @@
+//! Lock-free LIFO lists of descriptors (Treiber stacks, paper §4.2).
+//!
+//! The superblock free list and the per-size-class partial lists are all
+//! instances of the same structure: a stack whose head lives in the
+//! metadata region as a [`Counted`] word (34-bit ABA counter + descriptor
+//! index) and whose links are per-descriptor index words (`next_free` or
+//! `next_partial`). Everything is index-based, hence position-independent;
+//! everything is transient, hence never flushed — recovery rebuilds the
+//! lists from scratch (paper §4.5, steps 8–9).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nvm::PmemPool;
+use pptr::Counted;
+
+use crate::descriptor::Desc;
+use crate::layout::Geometry;
+
+/// Which per-descriptor link field a list threads through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkField {
+    /// `next_free`: the superblock free list.
+    Free,
+    /// `next_partial`: a size class's partial list.
+    Partial,
+}
+
+/// A Treiber stack of descriptors with its head at `head_off` in the pool.
+#[derive(Debug, Clone, Copy)]
+pub struct DescList {
+    head_off: usize,
+    link: LinkField,
+}
+
+impl DescList {
+    /// The superblock free list of a heap.
+    pub fn free_list(geo: &Geometry) -> DescList {
+        let _ = geo;
+        DescList { head_off: crate::layout::FREE_LIST_OFF, link: LinkField::Free }
+    }
+
+    /// The partial list for `class`.
+    pub fn partial_list(geo: &Geometry, class: u32) -> DescList {
+        DescList { head_off: geo.partial_head(class), link: LinkField::Partial }
+    }
+
+    #[inline]
+    fn head<'a>(&self, pool: &'a PmemPool) -> &'a AtomicU64 {
+        // SAFETY: metadata offsets are in bounds and 8-aligned.
+        unsafe { pool.atomic_u64(self.head_off) }
+    }
+
+    #[inline]
+    fn link_of<'a>(&self, d: &Desc<'a>) -> &'a AtomicU64 {
+        match self.link {
+            LinkField::Free => d.next_free(),
+            LinkField::Partial => d.next_partial(),
+        }
+    }
+
+    /// Push descriptor `idx`.
+    pub fn push(&self, pool: &PmemPool, geo: &Geometry, idx: u32) {
+        let head = self.head(pool);
+        let desc = Desc::new(pool, geo, idx);
+        let link = self.link_of(&desc);
+        loop {
+            let h = Counted(head.load(Ordering::Acquire));
+            // Our descriptor is unlisted, so we own its link word.
+            link.store(h.idx().map_or(0, |i| i as u64 + 1), Ordering::Relaxed);
+            let nh = h.advance(Some(idx));
+            if head
+                .compare_exchange_weak(h.0, nh.0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pop the most recently pushed descriptor, if any.
+    pub fn pop(&self, pool: &PmemPool, geo: &Geometry) -> Option<u32> {
+        let head = self.head(pool);
+        loop {
+            let h = Counted(head.load(Ordering::Acquire));
+            let idx = h.idx()?;
+            let desc = Desc::new(pool, geo, idx);
+            let next_raw = self.link_of(&desc).load(Ordering::Acquire);
+            let next = next_raw.checked_sub(1).map(|i| i as u32);
+            let nh = h.advance(next);
+            if head
+                .compare_exchange_weak(h.0, nh.0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+    }
+
+    /// Reset to empty, preserving the ABA counter. Only for offline use
+    /// (recovery step 3).
+    pub fn reset(&self, pool: &PmemPool) {
+        let head = self.head(pool);
+        let h = Counted(head.load(Ordering::Relaxed));
+        head.store(h.advance(None).0, Ordering::Relaxed);
+    }
+
+    /// Snapshot the list contents (offline use: diagnostics, tests).
+    pub fn collect(&self, pool: &PmemPool, geo: &Geometry) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut cur = Counted(self.head(pool).load(Ordering::Acquire)).idx();
+        while let Some(idx) = cur {
+            out.push(idx);
+            let desc = Desc::new(pool, geo, idx);
+            cur = self
+                .link_of(&desc)
+                .load(Ordering::Acquire)
+                .checked_sub(1)
+                .map(|i| i as u32);
+            if out.len() > geo.max_sb {
+                panic!("descriptor list cycle detected");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::Mode;
+
+    fn test_heap() -> (PmemPool, Geometry) {
+        let len = Geometry::pool_len_for_capacity(64 << 20);
+        let pool = PmemPool::new(len, Mode::Direct);
+        let geo = Geometry::from_pool_len(pool.len());
+        (pool, geo)
+    }
+
+    #[test]
+    fn lifo_order() {
+        let (pool, geo) = test_heap();
+        let l = DescList::free_list(&geo);
+        assert_eq!(l.pop(&pool, &geo), None);
+        l.push(&pool, &geo, 1);
+        l.push(&pool, &geo, 2);
+        l.push(&pool, &geo, 3);
+        assert_eq!(l.collect(&pool, &geo), vec![3, 2, 1]);
+        assert_eq!(l.pop(&pool, &geo), Some(3));
+        assert_eq!(l.pop(&pool, &geo), Some(2));
+        assert_eq!(l.pop(&pool, &geo), Some(1));
+        assert_eq!(l.pop(&pool, &geo), None);
+    }
+
+    #[test]
+    fn descriptor_zero_is_representable() {
+        // Index 0 must be distinguishable from "empty" (hence idx+1
+        // encodings everywhere).
+        let (pool, geo) = test_heap();
+        let l = DescList::free_list(&geo);
+        l.push(&pool, &geo, 0);
+        assert_eq!(l.pop(&pool, &geo), Some(0));
+        assert_eq!(l.pop(&pool, &geo), None);
+    }
+
+    #[test]
+    fn free_and_partial_lists_are_independent() {
+        let (pool, geo) = test_heap();
+        let free = DescList::free_list(&geo);
+        let p1 = DescList::partial_list(&geo, 1);
+        let p2 = DescList::partial_list(&geo, 2);
+        free.push(&pool, &geo, 10);
+        p1.push(&pool, &geo, 11);
+        p2.push(&pool, &geo, 12);
+        assert_eq!(free.pop(&pool, &geo), Some(10));
+        assert_eq!(p1.pop(&pool, &geo), Some(11));
+        assert_eq!(p2.pop(&pool, &geo), Some(12));
+    }
+
+    #[test]
+    fn aba_counter_advances() {
+        let (pool, geo) = test_heap();
+        let l = DescList::free_list(&geo);
+        let head = unsafe { pool.atomic_u64(crate::layout::FREE_LIST_OFF) };
+        let c0 = Counted(head.load(Ordering::Relaxed)).counter();
+        l.push(&pool, &geo, 4);
+        l.pop(&pool, &geo);
+        l.push(&pool, &geo, 4);
+        let c1 = Counted(head.load(Ordering::Relaxed)).counter();
+        assert_eq!(c1, c0 + 3, "every successful CAS bumps the counter");
+    }
+
+    #[test]
+    fn reset_empties() {
+        let (pool, geo) = test_heap();
+        let l = DescList::partial_list(&geo, 5);
+        l.push(&pool, &geo, 7);
+        l.push(&pool, &geo, 8);
+        l.reset(&pool);
+        assert_eq!(l.pop(&pool, &geo), None);
+    }
+
+    #[test]
+    fn concurrent_push_pop_preserves_elements() {
+        let (pool, geo) = test_heap();
+        let l = DescList::free_list(&geo);
+        let n_threads = 8u32;
+        let per = 64u32;
+        // Each thread pushes a disjoint range, then everyone pops.
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let pool = &pool;
+                let geo = &geo;
+                s.spawn(move || {
+                    for i in 0..per {
+                        l.push(pool, geo, t * per + i);
+                    }
+                });
+            }
+        });
+        let mut seen = vec![false; (n_threads * per) as usize];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| {
+                    let pool = &pool;
+                    let geo = &geo;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        while let Some(idx) = l.pop(pool, geo) {
+                            got.push(idx);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            for h in handles {
+                for idx in h.join().unwrap() {
+                    assert!(!seen[idx as usize], "popped twice: {idx}");
+                    seen[idx as usize] = true;
+                }
+            }
+        });
+        assert!(seen.iter().all(|&b| b), "lost elements");
+    }
+}

@@ -1,0 +1,691 @@
+//! Offline recovery: trace, sweep, reconstruct (paper §4.5).
+//!
+//! Recovery runs while the heap is quiescent (after a crash there are no
+//! application threads, paper §3) and performs steps 1–10 of §4.5:
+//!
+//! 1.  remap (done by the caller when it opened the pool),
+//! 2.  thread caches start empty (their *generation* was bumped),
+//! 3.  partial lists and the superblock free list are reset,
+//! 4.  filter functions were registered by `get_root<T>` calls,
+//! 5.  trace all blocks reachable from the persistent roots,
+//! 6.  scan the superblock region keeping only traced blocks,
+//! 7.  update every descriptor's anchor,
+//! 8.  reconstruct the partial lists,
+//! 9.  reconstruct the superblock free list,
+//! 10. flush all three regions and fence.
+//!
+//! ## Parallel recovery (paper §6.4 future work, implemented here)
+//!
+//! The paper notes it is "straightforward to parallelize Step 5 across
+//! persistent roots and Steps 6–9 across superblocks"; `recover_parallel`
+//! does exactly that. Tracing threads work on disjoint root subsets with
+//! private mark sets that are OR-merged afterwards (marking is
+//! idempotent, so shared substructure costs duplicated scanning but never
+//! correctness). Sweeping threads rebuild disjoint descriptor ranges and
+//! publish to the global lists concurrently — the lists are the same
+//! lock-free Treiber stacks used online, so no extra synchronization is
+//! needed.
+//!
+//! ## Large-block conflict rule (beyond the paper)
+//!
+//! Conservative tracing can mark a *stale* large-block head (a block that
+//! was freed before the crash but whose class-0 descriptor still decodes).
+//! If that phantom's span were honored it could swallow superblocks that
+//! hold live small blocks — a safety violation, not just a leak. Recovery
+//! therefore validates every marked large head: its interior superblocks
+//! must all carry the `CONTINUATION` tag (persisted at large-allocation
+//! time) and no marks. Genuine live large blocks always pass; conflicting
+//! phantoms are dropped. Single-superblock phantoms merely leak one
+//! superblock, matching the paper's "conservative collection may leak,
+//! never corrupts" contract.
+
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use crate::anchor::{Anchor, SbState};
+use crate::descriptor::{Desc, DescKind};
+use crate::gc::{MarkSet, TraceFn, Tracer};
+use crate::heap::HeapInner;
+use crate::layout::NUM_ROOTS;
+use crate::lists::DescList;
+use crate::size_class::{class_block_size, class_max_count, NUM_CLASSES};
+
+/// What recovery found and rebuilt.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryStats {
+    /// Blocks reachable from the persistent roots (kept allocated).
+    pub reachable_blocks: u64,
+    /// Bytes those blocks occupy.
+    pub reachable_bytes: u64,
+    /// Superblocks returned to the free list.
+    pub free_superblocks: usize,
+    /// Superblocks placed on partial lists.
+    pub partial_superblocks: usize,
+    /// Fully-allocated superblocks (incl. live large spans).
+    pub full_superblocks: usize,
+    /// Phantom large heads rejected by the conflict rule.
+    pub rejected_large_phantoms: usize,
+    /// Words examined by conservative scans (0 when all filters precise).
+    pub conservative_words_scanned: u64,
+    /// Tagged words accepted as candidate pointers during conservative
+    /// scans.
+    pub conservative_candidates: u64,
+    /// Worker threads used (1 = the paper's sequential recovery).
+    pub threads: usize,
+    /// Wall-clock recovery time (the quantity of paper Figure 6).
+    pub duration: Duration,
+}
+
+/// Run sequential offline recovery. Caller guarantees quiescence.
+pub(crate) fn recover(inner: &HeapInner) -> RecoveryStats {
+    recover_with(inner, 1)
+}
+
+/// Run offline recovery with `threads` workers.
+pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
+    let t0 = Instant::now();
+    let pool = inner.pool();
+    let geo = inner.geo();
+    let used = inner.used_sb();
+    let threads = threads.max(1);
+
+    // Steps 2-3: empty transient lists (thread caches were invalidated by
+    // the crash's generation bump; on a dirty open none exist yet).
+    DescList::free_list(geo).reset(pool);
+    for class in 0..NUM_CLASSES as u32 {
+        DescList::partial_list(geo, class).reset(pool);
+    }
+
+    // Gather the registered roots (step 4 already happened via get_root).
+    let mut roots: Vec<(usize, Option<TraceFn>)> = Vec::new();
+    {
+        let root_fns = inner.root_fns.lock();
+        for i in 0..NUM_ROOTS {
+            // SAFETY: root slots are 8-aligned metadata words.
+            let raw = unsafe { pool.atomic_u64(geo.root(i)) }.load(Ordering::Acquire);
+            if let Some(off) = raw.checked_sub(1) {
+                let addr = pool.base() as usize + geo.sb(0) + off as usize;
+                roots.push((addr, root_fns.get(&i).copied()));
+            }
+        }
+    }
+
+    // Step 5: trace — sequentially, or across root subsets in parallel.
+    let (marks, cons_words, cons_hits) = if threads == 1 || roots.len() <= 1 {
+        let mut tracer = Tracer::new(pool, geo, used);
+        for (addr, filter) in &roots {
+            tracer.visit_addr(*addr, *filter);
+        }
+        tracer.drain();
+        let (mut marks, w, h) = tracer.into_parts();
+        recount(&mut marks);
+        (marks, w, h)
+    } else {
+        let workers = threads.min(roots.len());
+        let results: Vec<(MarkSet, u64, u64)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let roots = &roots;
+                    s.spawn(move || {
+                        let mut tracer = Tracer::new(pool, geo, used);
+                        for (addr, filter) in roots.iter().skip(w).step_by(workers) {
+                            tracer.visit_addr(*addr, *filter);
+                        }
+                        tracer.drain();
+                        tracer.into_parts()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("tracing worker")).collect()
+        });
+        let mut iter = results.into_iter();
+        let (mut marks, mut w, mut h) = iter.next().unwrap();
+        for (m, ws, hs) in iter {
+            marks.merge_from(&m);
+            w += ws;
+            h += hs;
+        }
+        recount(&mut marks);
+        (marks, w, h)
+    };
+
+    let mut stats = RecoveryStats {
+        reachable_blocks: marks.total,
+        conservative_words_scanned: cons_words,
+        conservative_candidates: cons_hits,
+        threads,
+        ..Default::default()
+    };
+
+    // Pass A: validate marked large heads and claim their spans.
+    let mut claimed = vec![false; used];
+    for i in 0..used {
+        let d = Desc::new(pool, geo, i as u32);
+        if let DescKind::LargeHead { span } = d.classify(geo, used) {
+            if !marks.is_marked(i, 0) {
+                continue;
+            }
+            let conflict = (1..span).any(|k| {
+                let dk = Desc::new(pool, geo, (i + k) as u32);
+                dk.classify(geo, used) != DescKind::Continuation || marks.counts[i + k] != 0
+            });
+            if conflict {
+                stats.rejected_large_phantoms += 1;
+                continue;
+            }
+            for k in 0..span {
+                claimed[i + k] = true;
+            }
+            stats.reachable_bytes += d.block_size();
+        }
+    }
+    // Small-block bytes, recomputed from the merged mark counts.
+    for i in 0..used {
+        let d = Desc::new(pool, geo, i as u32);
+        if let DescKind::Small { class } = d.classify(geo, used) {
+            stats.reachable_bytes += marks.counts[i] as u64 * class_block_size(class) as u64;
+        }
+    }
+
+    // Pass B (steps 6-9): rebuild descriptors and lists, in parallel over
+    // disjoint superblock ranges when requested.
+    let sweep_threads = if threads == 1 || used < 64 { 1 } else { threads };
+    if sweep_threads == 1 {
+        let (f, p, full) = sweep_range(inner, &marks, &claimed, 0, used);
+        stats.free_superblocks = f;
+        stats.partial_superblocks = p;
+        stats.full_superblocks = full;
+    } else {
+        let chunk = used.div_ceil(sweep_threads);
+        let totals: Vec<(usize, usize, usize)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..sweep_threads)
+                .map(|w| {
+                    let marks = &marks;
+                    let claimed = &claimed;
+                    s.spawn(move || {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(used);
+                        if lo >= hi {
+                            (0, 0, 0)
+                        } else {
+                            sweep_range(inner, marks, claimed, lo, hi)
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        });
+        for (f, p, full) in totals {
+            stats.free_superblocks += f;
+            stats.partial_superblocks += p;
+            stats.full_superblocks += full;
+        }
+    }
+
+    // Step 10: write everything back so a crash immediately after
+    // recovery restarts from this reconstructed state.
+    if !inner.is_transient() {
+        pool.flush(0, pool.len());
+        pool.fence();
+    }
+
+    stats.duration = t0.elapsed();
+    stats
+}
+
+/// Recompute a mark set's per-superblock counts and total (after merges;
+/// also normalizes the single-tracer path so both report identically).
+fn recount(marks: &mut MarkSet) {
+    marks.merge_from(&MarkSet::new(marks.counts.len()));
+}
+
+/// Rebuild descriptors `lo..hi`: per-superblock free chains, anchors, and
+/// list membership (steps 6-9 for a slice of the heap). Safe to run
+/// concurrently over disjoint ranges — the global lists are lock-free.
+fn sweep_range(
+    inner: &HeapInner,
+    marks: &MarkSet,
+    claimed: &[bool],
+    lo: usize,
+    hi: usize,
+) -> (usize, usize, usize) {
+    let pool = inner.pool();
+    let geo = inner.geo();
+    let used = inner.used_sb();
+    let free_list = DescList::free_list(geo);
+    let (mut frees, mut partials, mut fulls) = (0, 0, 0);
+    for i in lo..hi {
+        let d = Desc::new(pool, geo, i as u32);
+        if claimed[i] {
+            // Live large block (head or interior): fully allocated.
+            d.set_anchor(Anchor::full(1), Ordering::Relaxed);
+            fulls += 1;
+            continue;
+        }
+        match d.classify(geo, used) {
+            DescKind::Small { class } => {
+                let mc = class_max_count(class);
+                let bsize = class_block_size(class) as usize;
+                // Refresh the transient max_count cache without flushing
+                // (the persisted class/size bits are rewritten unchanged).
+                d.set_size(class, bsize as u64, mc, true);
+                let marked = marks.counts[i];
+                let free_count = mc - marked;
+                let sb_addr = pool.base() as usize + geo.sb(i);
+                // Chain the unmarked blocks in ascending order (step 6:
+                // "keep only traced blocks").
+                let mut first: Option<u32> = None;
+                let mut prev: Option<u32> = None;
+                for blk in 0..mc {
+                    if marks.is_marked(i, blk) {
+                        continue;
+                    }
+                    if let Some(p) = prev {
+                        // SAFETY: free block first-words; ranges disjoint.
+                        unsafe {
+                            std::ptr::write((sb_addr + p as usize * bsize) as *mut u64, blk as u64)
+                        };
+                    } else {
+                        first = Some(blk);
+                    }
+                    prev = Some(blk);
+                }
+                let anchor = if free_count == 0 {
+                    Anchor::full(mc)
+                } else {
+                    Anchor {
+                        avail: first.unwrap(),
+                        count: free_count,
+                        state: if free_count == mc { SbState::Empty } else { SbState::Partial },
+                    }
+                };
+                d.set_anchor(anchor, Ordering::Relaxed);
+                match anchor.state {
+                    SbState::Empty => {
+                        free_list.push(pool, geo, i as u32);
+                        frees += 1;
+                    }
+                    SbState::Partial => {
+                        DescList::partial_list(geo, class).push(pool, geo, i as u32);
+                        partials += 1;
+                    }
+                    SbState::Full => fulls += 1,
+                }
+            }
+            // Unreached large heads, stale continuations, and garbage
+            // descriptors all become free superblocks.
+            DescKind::LargeHead { .. } | DescKind::Continuation | DescKind::Invalid => {
+                d.set_anchor(
+                    Anchor { avail: 0, count: 0, state: SbState::Empty },
+                    Ordering::Relaxed,
+                );
+                free_list.push(pool, geo, i as u32);
+                frees += 1;
+            }
+        }
+    }
+    (frees, partials, fulls)
+}
+#[cfg(test)]
+mod tests {
+    use crate::heap::{Ralloc, RallocConfig};
+    use crate::gc::{Trace, Tracer};
+    use pptr::Pptr;
+
+    /// A persistent singly-linked list node with a precise filter.
+    #[repr(C)]
+    struct Node {
+        value: u64,
+        next: Pptr<Node>,
+    }
+
+    unsafe impl Trace for Node {
+        fn trace(&self, t: &mut Tracer<'_>) {
+            t.visit_pptr(&self.next);
+        }
+    }
+
+    fn tracked_heap() -> Ralloc {
+        Ralloc::create(8 << 20, RallocConfig::tracked())
+    }
+
+    /// Build an n-node list rooted at slot `root`, persisting each node
+    /// the way a durably-linearizable application would.
+    fn build_list(heap: &Ralloc, root: usize, n: usize) -> Vec<usize> {
+        let mut addrs = Vec::with_capacity(n);
+        let mut head: *mut Node = std::ptr::null_mut();
+        for i in 0..n {
+            let p = heap.malloc(std::mem::size_of::<Node>()) as *mut Node;
+            assert!(!p.is_null());
+            unsafe {
+                (*p).value = i as u64;
+                (*p).next.set(head);
+            }
+            // Application-side persistence (paper §2.2: the app is
+            // responsible for durable linearizability of its own data).
+            let off = p as usize - heap.pool().base() as usize;
+            heap.pool().persist(off, std::mem::size_of::<Node>());
+            head = p;
+            addrs.push(p as usize);
+        }
+        heap.set_root::<Node>(root, head);
+        addrs
+    }
+
+    fn list_values(heap: &Ralloc, root: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = heap.get_root::<Node>(root);
+        while !cur.is_null() {
+            unsafe {
+                out.push((*cur).value);
+                cur = (*cur).next.as_ptr();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn crash_and_recover_preserves_rooted_list() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 100);
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 100);
+        assert_eq!(list_values(&heap, 0), (0..100).rev().collect::<Vec<_>>());
+        // Heap remains serviceable.
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+        heap.free(p);
+    }
+
+    #[test]
+    fn unrooted_blocks_are_reclaimed() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 10);
+        // Allocate garbage that never gets attached: lost on crash.
+        for _ in 0..1000 {
+            let p = heap.malloc(64);
+            assert!(!p.is_null());
+        }
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 10, "leaked blocks must be collected");
+    }
+
+    #[test]
+    fn recovered_free_space_is_never_handed_out_twice() {
+        let heap = tracked_heap();
+        let live = build_list(&heap, 0, 200);
+        heap.crash_simulated();
+        heap.recover();
+        let live_set: std::collections::HashSet<usize> = live.into_iter().collect();
+        // Allocate aggressively: no returned block may alias a live node.
+        for _ in 0..20_000 {
+            let p = heap.malloc(std::mem::size_of::<Node>());
+            if p.is_null() {
+                break;
+            }
+            assert!(!live_set.contains(&(p as usize)), "GC-surviving block re-allocated");
+        }
+        assert_eq!(list_values(&heap, 0).len(), 200);
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 50);
+        heap.crash_simulated();
+        let s1 = heap.recover();
+        let s2 = heap.recover();
+        assert_eq!(s1.reachable_blocks, s2.reachable_blocks);
+        assert_eq!(s1.free_superblocks, s2.free_superblocks);
+        assert_eq!(list_values(&heap, 0).len(), 50);
+    }
+
+    #[test]
+    fn crash_during_recovery_is_recoverable() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 50);
+        heap.crash_simulated();
+        heap.recover();
+        // Crash again immediately (before any new persistence): recovery
+        // flushed its reconstruction, so this recovers identically.
+        heap.crash_simulated();
+        let s = heap.recover();
+        assert_eq!(s.reachable_blocks, 50);
+        assert_eq!(list_values(&heap, 0).len(), 50);
+    }
+
+    #[test]
+    fn thread_cached_blocks_recovered_after_crash() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 5);
+        // Fill the thread cache with freed blocks, then crash: the cache
+        // is transient, so those blocks leak until GC reclaims them.
+        let ptrs: Vec<_> = (0..100).map(|_| heap.malloc(64)).collect();
+        for p in ptrs {
+            heap.free(p); // parked in this thread's cache
+        }
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 5);
+        // All cached blocks are allocatable again; heap serves requests.
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn large_block_survives_crash() {
+        let heap = tracked_heap();
+        let size = 3 * crate::size_class::SB_SIZE + 17;
+        let p = heap.malloc(size);
+        assert!(!p.is_null());
+        unsafe {
+            std::ptr::write_bytes(p, 0xAB, size);
+        }
+        let off = p as usize - heap.pool().base() as usize;
+        heap.pool().persist(off, size);
+        heap.set_root::<u8>(0, p);
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 1);
+        assert_eq!(stats.reachable_bytes, size as u64);
+        let q = heap.get_root::<u8>(0);
+        assert_eq!(q, p);
+        unsafe {
+            for i in [0usize, 1, size / 2, size - 1] {
+                assert_eq!(*q.add(i), 0xAB, "large block byte {i} corrupted");
+            }
+        }
+        // Freeing it afterwards returns the span.
+        heap.free(q);
+        let r = heap.malloc(64);
+        assert!(!r.is_null());
+    }
+
+    #[test]
+    fn unrooted_large_block_is_reclaimed() {
+        let heap = tracked_heap();
+        let size = 4 * crate::size_class::SB_SIZE;
+        let p = heap.malloc(size);
+        assert!(!p.is_null());
+        let used_before = heap.used_superblocks();
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 0);
+        assert_eq!(stats.free_superblocks, used_before, "span must be split and freed");
+    }
+
+    #[test]
+    fn conservative_root_traces_without_filter() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 30);
+        heap.crash_simulated();
+        // Simulate an application that never called get_root::<T>: drop
+        // the registered filter; recovery must fall back to conservative
+        // scanning and still find every node (pptr tags make them
+        // recognizable).
+        heap.clear_root_filter(0);
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 30);
+        assert!(stats.conservative_words_scanned > 0);
+        assert_eq!(list_values(&heap, 0).len(), 30);
+    }
+
+    #[test]
+    fn clean_close_then_dirty_reopen_roundtrip_via_image() {
+        // Crash image -> new pool at a different base -> recovery: the
+        // whole-point integration of position independence + GC.
+        let heap = tracked_heap();
+        build_list(&heap, 7, 64);
+        let image = heap.pool().persistent_image();
+        drop(heap);
+        let (heap2, dirty) = Ralloc::from_image(&image, RallocConfig::tracked());
+        assert!(dirty);
+        // Re-register the filter (the paper: call getRoot before recover).
+        let _ = heap2.get_root::<Node>(7);
+        let stats = heap2.recover();
+        assert_eq!(stats.reachable_blocks, 64);
+        assert_eq!(list_values(&heap2, 7).len(), 64);
+    }
+
+    #[test]
+    fn multiple_roots_all_traced() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 10);
+        build_list(&heap, 1, 20);
+        build_list(&heap, 1023, 30);
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 60);
+        assert_eq!(list_values(&heap, 0).len(), 10);
+        assert_eq!(list_values(&heap, 1).len(), 20);
+        assert_eq!(list_values(&heap, 1023).len(), 30);
+    }
+
+    #[test]
+    fn null_root_clears_reachability() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 40);
+        heap.set_root::<Node>(0, std::ptr::null());
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 0, "detached structure must be collected");
+    }
+
+    #[test]
+    fn recovery_stats_duration_positive() {
+        let heap = tracked_heap();
+        build_list(&heap, 0, 1000);
+        heap.crash_simulated();
+        let stats = heap.recover();
+        assert!(stats.duration.as_nanos() > 0);
+        assert_eq!(stats.reachable_blocks, 1000);
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use crate::checker::check_heap;
+    use crate::gc::{Trace, Tracer};
+    use crate::heap::{Ralloc, RallocConfig};
+    use pptr::Pptr;
+
+    #[repr(C)]
+    struct Node {
+        value: u64,
+        next: Pptr<Node>,
+    }
+    unsafe impl Trace for Node {
+        fn trace(&self, t: &mut Tracer<'_>) {
+            t.visit_pptr(&self.next);
+        }
+    }
+
+    /// Many roots, each a list, so the parallel mark phase has real work
+    /// to divide.
+    fn build_many_lists(heap: &Ralloc, lists: usize, per: usize) {
+        for r in 0..lists {
+            let mut head: *mut Node = std::ptr::null_mut();
+            for i in 0..per as u64 {
+                let p = heap.malloc(std::mem::size_of::<Node>()) as *mut Node;
+                assert!(!p.is_null());
+                // SAFETY: fresh block.
+                unsafe {
+                    (*p).value = i;
+                    (*p).next.set(head);
+                }
+                // Application-side durable linearizability (§2.2).
+                let off = p as usize - heap.pool().base() as usize;
+                heap.pool().persist(off, std::mem::size_of::<Node>());
+                head = p;
+            }
+            heap.set_root::<Node>(r, head);
+        }
+    }
+
+    #[test]
+    fn parallel_recovery_matches_sequential() {
+        let heap = Ralloc::create(32 << 20, RallocConfig::tracked());
+        build_many_lists(&heap, 16, 200);
+        // Leak garbage so the sweep has work too.
+        for _ in 0..2000 {
+            let _ = heap.malloc(48);
+        }
+        heap.crash_simulated();
+        let seq = heap.recover();
+        let par = heap.recover_parallel(4);
+        assert_eq!(seq.reachable_blocks, par.reachable_blocks);
+        assert_eq!(seq.reachable_bytes, par.reachable_bytes);
+        assert_eq!(seq.free_superblocks, par.free_superblocks);
+        assert_eq!(seq.partial_superblocks, par.partial_superblocks);
+        assert_eq!(seq.full_superblocks, par.full_superblocks);
+        assert_eq!(par.threads, 4);
+        let report = check_heap(&heap);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn parallel_recovery_with_shared_substructure() {
+        // Two roots pointing at the same list: per-thread mark sets
+        // overlap and must merge without double counting.
+        let heap = Ralloc::create(16 << 20, RallocConfig::tracked());
+        build_many_lists(&heap, 1, 300);
+        let head = heap.get_root::<Node>(0);
+        heap.set_root::<Node>(1, head);
+        heap.crash_simulated();
+        let stats = heap.recover_parallel(2);
+        assert_eq!(stats.reachable_blocks, 300, "shared list counted once");
+        assert!(check_heap(&heap).is_consistent());
+    }
+
+    #[test]
+    fn parallel_recovery_usable_afterwards() {
+        let heap = Ralloc::create(32 << 20, RallocConfig::tracked());
+        build_many_lists(&heap, 8, 100);
+        heap.crash_simulated();
+        heap.recover_parallel(4);
+        // Allocate from the rebuilt lists across several classes.
+        let mut held = Vec::new();
+        for i in 0..5000usize {
+            let p = heap.malloc(8 + (i % 40) * 8);
+            assert!(!p.is_null());
+            held.push(p);
+        }
+        for p in held {
+            heap.free(p);
+        }
+        assert!(check_heap(&heap).is_consistent());
+    }
+
+    #[test]
+    fn thread_count_one_is_sequential() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::tracked());
+        build_many_lists(&heap, 4, 50);
+        heap.crash_simulated();
+        let s = heap.recover_parallel(1);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.reachable_blocks, 200);
+    }
+}
+

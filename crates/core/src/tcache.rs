@@ -1,0 +1,118 @@
+//! Thread-local block caches (paper §4.2, §4.4).
+//!
+//! Most allocations and deallocations are served by per-thread caches of
+//! free blocks, one per size class, with no synchronization at all — the
+//! LRMalloc fast path that Ralloc inherits. The caches are **transient**:
+//! nothing about them is flushed, and after a crash their contents are
+//! recovered by the tracing GC (blocks in a cache are unreachable from
+//! the roots, so they are reclaimed). On clean thread exit, the cache is
+//! drained back to the heap so a clean shutdown leaves nothing cached.
+//!
+//! Because a process may hold several heaps, the TLS slot stores a small
+//! vector of per-heap cache sets keyed by heap id. Each cache set is
+//! stamped with the heap's *generation*, which is bumped by a simulated
+//! crash: stale cached blocks from "before the crash" must be forgotten,
+//! not reused, exactly as a real crash would forget DRAM.
+
+use std::cell::RefCell;
+use std::sync::Weak;
+
+use crate::heap::HeapInner;
+use crate::size_class::NUM_CLASSES;
+
+/// Per-heap, per-thread cache set.
+pub(crate) struct HeapTls {
+    pub heap_id: u64,
+    pub generation: u64,
+    pub weak: Weak<HeapInner>,
+    /// Cached absolute block addresses per class (class 0 unused).
+    pub caches: Vec<Vec<usize>>,
+}
+
+impl HeapTls {
+    fn new(heap_id: u64, generation: u64, weak: Weak<HeapInner>) -> HeapTls {
+        HeapTls {
+            heap_id,
+            generation,
+            weak,
+            caches: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// Thread-local store of cache sets; drained on thread exit.
+struct TlsStore {
+    entries: Vec<HeapTls>,
+}
+
+impl Drop for TlsStore {
+    fn drop(&mut self) {
+        for entry in &mut self.entries {
+            if let Some(heap) = entry.weak.upgrade() {
+                // Return blocks only if the heap has not crashed or closed
+                // since they were cached.
+                if heap.generation() == entry.generation && !heap.is_closed() {
+                    heap.drain_tls(entry);
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<TlsStore> = const { RefCell::new(TlsStore { entries: Vec::new() }) };
+}
+
+/// Run `f` with this thread's cache set for `heap`, creating or resetting
+/// it as needed. `make_weak` is only invoked when a fresh cache set is
+/// created, keeping `Arc` weak-count traffic off the malloc fast path.
+pub(crate) fn with_heap_tls<R>(
+    heap: &HeapInner,
+    make_weak: impl FnOnce() -> Weak<HeapInner>,
+    f: impl FnOnce(&mut HeapTls) -> R,
+) -> R {
+    TLS.with(|tls| {
+        let mut store = tls.borrow_mut();
+        let gen = heap.generation();
+        let id = heap.id();
+        let pos = store.entries.iter().position(|e| e.heap_id == id);
+        let entry = match pos {
+            Some(p) => {
+                let e = &mut store.entries[p];
+                if e.generation != gen {
+                    // The heap crashed since these blocks were cached:
+                    // they are now owned by the recovered free lists (or
+                    // the GC), so the cache must be discarded, not reused.
+                    *e = HeapTls::new(id, gen, make_weak());
+                }
+                e
+            }
+            None => {
+                store.entries.push(HeapTls::new(id, gen, make_weak()));
+                store.entries.last_mut().unwrap()
+            }
+        };
+        f(entry)
+    })
+}
+
+/// Drain and remove this thread's cache set for `heap` (used by `close`).
+pub(crate) fn drain_current_thread(heap: &HeapInner) {
+    TLS.with(|tls| {
+        let mut store = tls.borrow_mut();
+        if let Some(p) = store.entries.iter().position(|e| e.heap_id == heap.id()) {
+            let mut entry = store.entries.swap_remove(p);
+            if entry.generation == heap.generation() {
+                heap.drain_tls(&mut entry);
+            }
+        }
+    })
+}
+
+/// Discard (without draining) this thread's cache set for `heap`.
+pub(crate) fn discard_current_thread(heap: &HeapInner) {
+    TLS.with(|tls| {
+        let mut store = tls.borrow_mut();
+        store.entries.retain(|e| e.heap_id != heap.id());
+    })
+}

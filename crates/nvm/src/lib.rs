@@ -1,0 +1,82 @@
+//! # nvm — simulated byte-addressable persistent memory
+//!
+//! This crate is the hardware substrate for the Ralloc reproduction. The
+//! paper (Cai et al., *Understanding and Optimizing Persistent Memory
+//! Allocation*, 2020) runs on Intel Optane DIMMs exposed through DAX
+//! `mmap`; we do not have that hardware, so this crate provides the closest
+//! synthetic equivalent that exercises the same code paths:
+//!
+//! * [`PmemPool`] — a large, cache-line-aligned region of byte-addressable
+//!   memory with explicit [`PmemPool::flush`] (`clwb`) and
+//!   [`PmemPool::fence`] (`sfence`) operations.
+//! * **Direct mode** — flush/fence are compiler fences plus an optional
+//!   calibrated delay ([`FlushModel`]) that models the latency of a fenced
+//!   write-back to Optane. Used for performance experiments.
+//! * **Tracked mode** — the pool keeps a *shadow persistent image*; a cache
+//!   line reaches the shadow only when it has been explicitly flushed *and*
+//!   fenced (the strict pmemcheck/Yat model). [`PmemPool::crash`] replaces
+//!   the volatile image with the shadow, simulating a power failure in
+//!   which every non-written-back line is lost (never torn). Used for
+//!   crash-recovery testing.
+//! * [`CrashInjector`] — aborts execution (via panic) after a configured
+//!   number of flush/fence events so tests can explore mid-operation crash
+//!   points exhaustively or randomly.
+//!
+//! The volatile image can be saved to / loaded from a file, standing in for
+//! a DAX file system segment: a *clean* shutdown writes the full image,
+//! while [`PmemPool::save_crash_image`] writes the shadow image (what real
+//! NVM would contain after a power failure).
+//!
+//! ## Memory model caveats (documented deviations)
+//!
+//! * A fence applies **all** pending flushes, not only the fencing
+//!   thread's. This is slightly more optimistic than `sfence` (which only
+//!   orders the issuing CPU's write-backs), but it never persists a line
+//!   that was not flushed, which is the property recoverability depends on.
+//! * Real caches may write back dirty lines spontaneously (eviction), so a
+//!   crash can persist *more* than what was flushed. [`CrashStyle::RandomEviction`]
+//!   models this for adversarial testing.
+
+mod crash;
+mod flush;
+mod pool;
+mod stats;
+
+pub use crash::{CrashInjector, CrashPoint, CRASH_POINT_MSG};
+pub use flush::FlushModel;
+pub use pool::{CrashStyle, Mode, PmemPool};
+pub use stats::PmemStats;
+
+/// Cache line size assumed throughout: flush granularity, descriptor
+/// padding, and the unit of atomicity for crash simulation (writes-back at
+/// cache-line granularity are never torn; see paper §2.1).
+pub const CACHE_LINE: usize = 64;
+
+/// Round `n` down to a cache-line boundary.
+#[inline]
+pub const fn line_down(n: usize) -> usize {
+    n & !(CACHE_LINE - 1)
+}
+
+/// Round `n` up to a cache-line boundary.
+#[inline]
+pub const fn line_up(n: usize) -> usize {
+    (n + CACHE_LINE - 1) & !(CACHE_LINE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_rounding() {
+        assert_eq!(line_down(0), 0);
+        assert_eq!(line_down(63), 0);
+        assert_eq!(line_down(64), 64);
+        assert_eq!(line_down(127), 64);
+        assert_eq!(line_up(0), 0);
+        assert_eq!(line_up(1), 64);
+        assert_eq!(line_up(64), 64);
+        assert_eq!(line_up(65), 128);
+    }
+}

@@ -1,0 +1,594 @@
+//! The simulated persistent-memory pool.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::crash::CrashInjector;
+use crate::flush::FlushModel;
+use crate::stats::PmemStats;
+use crate::{line_down, line_up, CACHE_LINE};
+
+/// How the pool simulates persistence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Loads/stores go straight to memory; flush/fence are compiler fences
+    /// plus the [`FlushModel`] latency. No crash simulation. This is the
+    /// performance-measurement configuration.
+    Direct,
+    /// The pool maintains a shadow *persistent image*. A cache line enters
+    /// the shadow only when flushed and then fenced. [`PmemPool::crash`]
+    /// reverts the volatile image to the shadow. This is the
+    /// crash-semantics-testing configuration.
+    Tracked,
+}
+
+/// What survives a simulated power failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// Only lines that were explicitly flushed and fenced survive — the
+    /// strict pmemcheck/Yat model and the worst case for recovery code.
+    StrictFlushOnly,
+    /// In addition, each dirty-but-unflushed line survives with probability
+    /// `survive_permille`/1000, modelling spontaneous cache eviction on
+    /// real hardware. Deterministic given `seed`.
+    RandomEviction {
+        /// Per-line survival probability in permille (0..=1000).
+        survive_permille: u32,
+        /// RNG seed (xorshift) so failures reproduce.
+        seed: u64,
+    },
+}
+
+struct TrackState {
+    /// The persistent image: what NVM would contain after power loss.
+    shadow: Box<[u8]>,
+    /// Lines flushed (content captured at flush time) but not yet fenced.
+    pending: HashMap<usize, [u8; CACHE_LINE]>,
+}
+
+/// A region of simulated NVM.
+///
+/// The region is a single allocation, 4 KiB aligned, zero-initialized
+/// (matching fresh DAX pages). All offsets are relative to [`PmemPool::base`];
+/// persistent data structures must store *offsets* (or self-relative
+/// pointers), never absolute addresses, because a reload maps the image at
+/// a different base — exactly the position-independence discipline the
+/// paper's `pptr` enforces.
+pub struct PmemPool {
+    base: *mut u8,
+    len: usize,
+    layout: Layout,
+    mode: Mode,
+    flush_model: FlushModel,
+    stats: PmemStats,
+    injector: Option<Arc<CrashInjector>>,
+    tracked: Option<Mutex<TrackState>>,
+    /// Number of simulated crashes survived (diagnostics).
+    crashes: AtomicU32,
+}
+
+// SAFETY: the pool hands out raw pointers and the collaborating allocator
+// performs all concurrent access through atomics; the pool's own mutable
+// state is behind a Mutex. `crash` and `load` require external quiescence,
+// which the allocator layer guarantees (recovery is offline, paper §3).
+unsafe impl Send for PmemPool {}
+unsafe impl Sync for PmemPool {}
+
+impl PmemPool {
+    /// Create a zeroed pool of `len` bytes (rounded up to a cache line).
+    pub fn new(len: usize, mode: Mode) -> Self {
+        Self::with_options(len, mode, FlushModel::default(), None)
+    }
+
+    /// Create a pool with an explicit flush-latency model and optional
+    /// crash injector.
+    pub fn with_options(
+        len: usize,
+        mode: Mode,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> Self {
+        let len = line_up(len.max(CACHE_LINE));
+        let layout = Layout::from_size_align(len, 4096).expect("pool layout");
+        // SAFETY: layout has nonzero size.
+        let base = unsafe { alloc_zeroed(layout) };
+        assert!(!base.is_null(), "pmem pool allocation of {len} bytes failed");
+        let tracked = match mode {
+            Mode::Direct => None,
+            Mode::Tracked => Some(Mutex::new(TrackState {
+                shadow: vec![0u8; len].into_boxed_slice(),
+                pending: HashMap::new(),
+            })),
+        };
+        PmemPool {
+            base,
+            len,
+            layout,
+            mode,
+            flush_model,
+            stats: PmemStats::default(),
+            injector,
+            tracked,
+            crashes: AtomicU32::new(0),
+        }
+    }
+
+    /// Base address of the mapping. Valid until the pool is dropped.
+    #[inline]
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// Size of the region in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the pool has zero capacity (never true in practice).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The persistence mode.
+    #[inline]
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Persistence-operation counters.
+    #[inline]
+    pub fn stats(&self) -> &PmemStats {
+        &self.stats
+    }
+
+    /// Number of simulated crashes this pool has been through.
+    pub fn crash_count(&self) -> u32 {
+        self.crashes.load(Ordering::Relaxed)
+    }
+
+    /// True if `off..off+len` lies within the pool.
+    #[inline]
+    pub fn check_range(&self, off: usize, len: usize) -> bool {
+        off <= self.len && len <= self.len - off
+    }
+
+    /// Raw pointer to offset `off`.
+    ///
+    /// # Safety
+    /// `off + size_of::<T>()` must be in bounds and `off` must satisfy
+    /// `T`'s alignment relative to the (4 KiB-aligned) base. All access
+    /// through the pointer must follow the usual aliasing rules (shared
+    /// mutation only through atomics).
+    #[inline]
+    pub unsafe fn at<T>(&self, off: usize) -> *mut T {
+        debug_assert!(self.check_range(off, std::mem::size_of::<T>()));
+        debug_assert_eq!(off % std::mem::align_of::<T>(), 0);
+        self.base.add(off) as *mut T
+    }
+
+    /// An atomic u64 view of the 8 bytes at offset `off`.
+    ///
+    /// # Safety
+    /// `off` must be 8-aligned and in bounds; the location must only be
+    /// accessed as an atomic u64 while shared.
+    #[inline]
+    pub unsafe fn atomic_u64(&self, off: usize) -> &AtomicU64 {
+        debug_assert!(self.check_range(off, 8));
+        debug_assert_eq!(off % 8, 0);
+        &*(self.base.add(off) as *const AtomicU64)
+    }
+
+    /// Read a u64 at `off` with a plain (non-atomic) load.
+    ///
+    /// # Safety
+    /// `off` must be 8-aligned, in bounds, and not concurrently written.
+    #[inline]
+    pub unsafe fn read_u64(&self, off: usize) -> u64 {
+        std::ptr::read(self.at::<u64>(off))
+    }
+
+    /// Write a u64 at `off` with a plain (non-atomic) store.
+    ///
+    /// # Safety
+    /// As for [`PmemPool::read_u64`], plus exclusivity of the write.
+    #[inline]
+    pub unsafe fn write_u64(&self, off: usize, v: u64) {
+        std::ptr::write(self.at::<u64>(off), v)
+    }
+
+    /// `clwb`-equivalent: request write-back of every cache line covering
+    /// `off..off+len`. Not persistent until the next [`PmemPool::fence`].
+    pub fn flush(&self, off: usize, len: usize) {
+        assert!(self.check_range(off, len), "flush out of range");
+        if len == 0 {
+            return;
+        }
+        let first = line_down(off);
+        let last = line_up(off + len);
+        let lines = (last - first) / CACHE_LINE;
+        self.stats.record_flush(lines);
+        if let Some(inj) = &self.injector {
+            inj.on_event();
+        }
+        match self.mode {
+            Mode::Direct => {
+                // The data already lives in (cache-coherent) DRAM; charge
+                // the modelled latency and compile-time order the stores.
+                std::sync::atomic::compiler_fence(Ordering::SeqCst);
+                self.flush_model.charge_flush(lines);
+            }
+            Mode::Tracked => {
+                let mut st = self.tracked.as_ref().unwrap().lock();
+                for line in (first..last).step_by(CACHE_LINE) {
+                    let mut buf = [0u8; CACHE_LINE];
+                    // SAFETY: line..line+64 is in bounds; racing reads of
+                    // bytes being concurrently stored yield *some* byte
+                    // values, which is exactly the nondeterminism a real
+                    // asynchronous write-back has.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(
+                            self.base.add(line),
+                            buf.as_mut_ptr(),
+                            CACHE_LINE,
+                        );
+                    }
+                    st.pending.insert(line, buf);
+                }
+                self.flush_model.charge_flush(lines);
+            }
+        }
+    }
+
+    /// `sfence`-equivalent: all previously flushed lines become persistent.
+    pub fn fence(&self) {
+        self.stats.record_fence();
+        if let Some(inj) = &self.injector {
+            inj.on_event();
+        }
+        match self.mode {
+            Mode::Direct => {
+                std::sync::atomic::fence(Ordering::SeqCst);
+                self.flush_model.charge_fence();
+            }
+            Mode::Tracked => {
+                let mut st = self.tracked.as_ref().unwrap().lock();
+                let pending = std::mem::take(&mut st.pending);
+                for (line, buf) in pending {
+                    st.shadow[line..line + CACHE_LINE].copy_from_slice(&buf);
+                }
+                self.flush_model.charge_fence();
+            }
+        }
+    }
+
+    /// Flush + fence in one call (the common "persist" idiom).
+    pub fn persist(&self, off: usize, len: usize) {
+        self.flush(off, len);
+        self.fence();
+    }
+
+    /// Simulate a full-system power failure with the strict model: the
+    /// volatile image is replaced by the persistent image; everything not
+    /// explicitly flushed-and-fenced is lost.
+    ///
+    /// The caller must guarantee quiescence (no thread touching the pool),
+    /// mirroring the paper's fail-stop model in which a crash halts all
+    /// threads. Panics in [`Mode::Direct`].
+    pub fn crash(&self) {
+        self.crash_with(CrashStyle::StrictFlushOnly)
+    }
+
+    /// Simulate a crash with a chosen [`CrashStyle`].
+    pub fn crash_with(&self, style: CrashStyle) {
+        let tracked = self
+            .tracked
+            .as_ref()
+            .expect("crash simulation requires Mode::Tracked");
+        let mut st = tracked.lock();
+        // Un-fenced flushes are lost.
+        st.pending.clear();
+        if let CrashStyle::RandomEviction { survive_permille, seed } = style {
+            // Some dirty lines persist anyway (spontaneous eviction).
+            let mut rng = seed | 1;
+            let mut xorshift = move || {
+                rng ^= rng << 13;
+                rng ^= rng >> 7;
+                rng ^= rng << 17;
+                rng
+            };
+            for line in (0..self.len).step_by(CACHE_LINE) {
+                // SAFETY: in-bounds; quiescent per contract.
+                let volatile =
+                    unsafe { std::slice::from_raw_parts(self.base.add(line), CACHE_LINE) };
+                if volatile != &st.shadow[line..line + CACHE_LINE]
+                    && (xorshift() % 1000) < survive_permille as u64
+                {
+                    st.shadow[line..line + CACHE_LINE].copy_from_slice(volatile);
+                }
+            }
+        }
+        // SAFETY: quiescent per contract; copies shadow over volatile.
+        unsafe {
+            std::ptr::copy_nonoverlapping(st.shadow.as_ptr(), self.base, self.len);
+        }
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy of the image that would survive a crash right now
+    /// (in [`Mode::Direct`] this is the volatile image, i.e. assume clean
+    /// shutdown).
+    pub fn persistent_image(&self) -> Vec<u8> {
+        match &self.tracked {
+            Some(t) => t.lock().shadow.to_vec(),
+            // SAFETY: reading the whole pool; caller tolerance for racing
+            // bytes as with flush.
+            None => unsafe { std::slice::from_raw_parts(self.base, self.len).to_vec() },
+        }
+    }
+
+    /// Write the current volatile image to a file — what a clean shutdown
+    /// (full write-back) leaves in the DAX segment.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        // SAFETY: whole-pool read, caller quiescent.
+        let data = unsafe { std::slice::from_raw_parts(self.base, self.len) };
+        fs::write(path, data)
+    }
+
+    /// Write the *persistent* image to a file — what NVM would contain if
+    /// the machine lost power now.
+    pub fn save_crash_image(&self, path: &Path) -> io::Result<()> {
+        fs::write(path, self.persistent_image())
+    }
+
+    /// Recreate a pool from a file produced by [`PmemPool::save`] or
+    /// [`PmemPool::save_crash_image`]. The new pool's base address will,
+    /// in general, differ from the original — position-independent data
+    /// must still be readable, which the tests verify.
+    pub fn load(path: &Path, mode: Mode) -> io::Result<Self> {
+        Self::load_with(path, mode, FlushModel::default(), None)
+    }
+
+    /// [`PmemPool::load`] with explicit model/injector.
+    pub fn load_with(
+        path: &Path,
+        mode: Mode,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> io::Result<Self> {
+        let data = fs::read(path)?;
+        let pool = Self::with_options(data.len(), mode, flush_model, injector);
+        assert!(pool.len >= data.len());
+        // SAFETY: fresh pool, no other users yet.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), pool.base, data.len());
+        }
+        // The on-file image *is* persistent: seed the shadow with it.
+        if let Some(t) = &pool.tracked {
+            let mut st = t.lock();
+            st.shadow[..data.len()].copy_from_slice(&data);
+        }
+        Ok(pool)
+    }
+
+    /// Adopt an in-memory image (used to simulate a remap at a new base
+    /// address without touching the filesystem).
+    pub fn from_image(image: &[u8], mode: Mode) -> Self {
+        let pool = Self::with_options(image.len(), mode, FlushModel::default(), None);
+        // SAFETY: fresh pool.
+        unsafe {
+            std::ptr::copy_nonoverlapping(image.as_ptr(), pool.base, image.len());
+        }
+        if let Some(t) = &pool.tracked {
+            t.lock().shadow[..image.len()].copy_from_slice(image);
+        }
+        pool
+    }
+}
+
+impl Drop for PmemPool {
+    fn drop(&mut self) {
+        // SAFETY: allocated in `with_options` with this layout.
+        unsafe { dealloc(self.base, self.layout) }
+    }
+}
+
+impl std::fmt::Debug for PmemPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemPool")
+            .field("len", &self.len)
+            .field("mode", &self.mode)
+            .field("crashes", &self.crash_count())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_bytes(pool: &PmemPool, off: usize, bytes: &[u8]) {
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), pool.base().add(off), bytes.len());
+        }
+    }
+
+    fn read_byte(pool: &PmemPool, off: usize) -> u8 {
+        unsafe { *pool.base().add(off) }
+    }
+
+    #[test]
+    fn new_pool_is_zeroed_and_aligned() {
+        let pool = PmemPool::new(1 << 16, Mode::Direct);
+        assert_eq!(pool.base() as usize % 4096, 0);
+        for off in [0usize, 1, 4095, (1 << 16) - 1] {
+            assert_eq!(read_byte(&pool, off), 0);
+        }
+    }
+
+    #[test]
+    fn unflushed_writes_lost_on_crash() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 128, &[7; 8]);
+        pool.crash();
+        assert_eq!(read_byte(&pool, 128), 0, "unflushed line must not survive");
+    }
+
+    #[test]
+    fn flushed_and_fenced_writes_survive() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 128, &[7; 8]);
+        pool.flush(128, 8);
+        pool.fence();
+        write_bytes(&pool, 256, &[9; 8]); // dirty, unflushed
+        pool.crash();
+        assert_eq!(read_byte(&pool, 128), 7);
+        assert_eq!(read_byte(&pool, 256), 0);
+    }
+
+    #[test]
+    fn flush_without_fence_is_lost() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 64, &[3; 4]);
+        pool.flush(64, 4);
+        // no fence
+        pool.crash();
+        assert_eq!(read_byte(&pool, 64), 0);
+    }
+
+    #[test]
+    fn flush_captures_content_at_flush_time() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 64, &[1; 4]);
+        pool.flush(64, 4);
+        write_bytes(&pool, 64, &[2; 4]); // after clwb, before sfence
+        pool.fence();
+        pool.crash();
+        // Strict model: the flush-time value persisted.
+        assert_eq!(read_byte(&pool, 64), 1);
+    }
+
+    #[test]
+    fn flush_spans_multiple_lines() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 60, &[5; 8]); // straddles line 0 and line 64
+        pool.persist(60, 8);
+        pool.crash();
+        assert_eq!(read_byte(&pool, 60), 5);
+        assert_eq!(read_byte(&pool, 67), 5);
+        assert_eq!(pool.stats().snapshot().flush_lines, 2);
+    }
+
+    #[test]
+    fn crash_is_line_granular_not_torn() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 0, &[1; 64]);
+        pool.persist(0, 64);
+        write_bytes(&pool, 0, &[2; 64]); // dirty whole line again
+        pool.crash();
+        // Whole line reverts to the persisted value — no partial line.
+        for i in 0..64 {
+            assert_eq!(read_byte(&pool, i), 1);
+        }
+    }
+
+    #[test]
+    fn random_eviction_can_persist_unflushed() {
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 0, &[9; 64]);
+        pool.crash_with(CrashStyle::RandomEviction { survive_permille: 1000, seed: 42 });
+        assert_eq!(read_byte(&pool, 0), 9, "p=1.0 eviction must persist the line");
+        let pool2 = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool2, 0, &[9; 64]);
+        pool2.crash_with(CrashStyle::RandomEviction { survive_permille: 0, seed: 42 });
+        assert_eq!(read_byte(&pool2, 0), 0, "p=0 behaves like strict");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("nvm-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("pool.img");
+        {
+            let pool = PmemPool::new(4096, Mode::Direct);
+            write_bytes(&pool, 100, b"hello");
+            pool.save(&file).unwrap();
+        }
+        let pool = PmemPool::load(&file, Mode::Tracked).unwrap();
+        assert_eq!(read_byte(&pool, 100), b'h');
+        // Loaded image counts as persistent.
+        pool.crash();
+        assert_eq!(read_byte(&pool, 100), b'h');
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_image_differs_from_clean_image() {
+        let dir = std::env::temp_dir().join(format!("nvm-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.img");
+        let crashy = dir.join("crash.img");
+        let pool = PmemPool::new(4096, Mode::Tracked);
+        write_bytes(&pool, 0, &[1; 8]);
+        pool.persist(0, 8);
+        write_bytes(&pool, 512, &[2; 8]); // unflushed
+        pool.save(&clean).unwrap();
+        pool.save_crash_image(&crashy).unwrap();
+        let c = std::fs::read(&clean).unwrap();
+        let k = std::fs::read(&crashy).unwrap();
+        assert_eq!(c[512], 2);
+        assert_eq!(k[512], 0);
+        assert_eq!(k[0], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_image_maps_at_new_base() {
+        let pool = PmemPool::new(4096, Mode::Direct);
+        write_bytes(&pool, 8, &[0xAB; 8]);
+        let img = pool.persistent_image();
+        let pool2 = PmemPool::from_image(&img, Mode::Direct);
+        assert_eq!(read_byte(&pool2, 8), 0xAB);
+    }
+
+    #[test]
+    fn injector_fires_through_pool() {
+        let inj = CrashInjector::new();
+        let pool = PmemPool::with_options(4096, Mode::Tracked, FlushModel::free(), Some(inj.clone()));
+        inj.arm(1);
+        pool.flush(0, 8); // event 1: budget 1 -> 0
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pool.fence()));
+        assert!(r.is_err());
+        assert!(crate::CrashPoint::is(&*r.unwrap_err()));
+    }
+
+    #[test]
+    fn atomic_view_reads_plain_writes() {
+        let pool = PmemPool::new(4096, Mode::Direct);
+        unsafe {
+            pool.write_u64(16, 0xDEADBEEF);
+            assert_eq!(pool.atomic_u64(16).load(Ordering::Relaxed), 0xDEADBEEF);
+            assert_eq!(pool.read_u64(16), 0xDEADBEEF);
+        }
+    }
+
+    #[test]
+    fn stats_count_flushes_and_fences() {
+        let pool = PmemPool::new(4096, Mode::Direct);
+        pool.flush(0, 1);
+        pool.flush(0, 65);
+        pool.fence();
+        let s = pool.stats().snapshot();
+        assert_eq!(s.flush_calls, 2);
+        assert_eq!(s.flush_lines, 1 + 2);
+        assert_eq!(s.fences, 1);
+    }
+}

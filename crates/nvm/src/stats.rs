@@ -1,0 +1,100 @@
+//! Persistence-operation counters.
+//!
+//! One of the paper's headline claims is that Ralloc "pays almost nothing
+//! for persistence during normal operation": the typical `malloc` issues
+//! *zero* flushes. These counters let tests and the ablation benchmarks
+//! verify that claim quantitatively (flushes-per-operation for each
+//! allocator) instead of inferring it from wall-clock time alone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of persistence activity on a pool.
+#[derive(Debug, Default)]
+pub struct PmemStats {
+    flush_lines: AtomicU64,
+    flush_calls: AtomicU64,
+    fences: AtomicU64,
+}
+
+/// A point-in-time copy of [`PmemStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmemStatsSnapshot {
+    /// Total cache lines flushed.
+    pub flush_lines: u64,
+    /// Total flush calls (a call may cover several lines).
+    pub flush_calls: u64,
+    /// Total fences issued.
+    pub fences: u64,
+}
+
+impl PmemStats {
+    pub(crate) fn record_flush(&self, lines: usize) {
+        self.flush_lines.fetch_add(lines as u64, Ordering::Relaxed);
+        self.flush_calls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read all counters.
+    pub fn snapshot(&self) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            flush_lines: self.flush_lines.load(Ordering::Relaxed),
+            flush_calls: self.flush_calls.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total cache lines flushed so far.
+    pub fn flush_lines(&self) -> u64 {
+        self.flush_lines.load(Ordering::Relaxed)
+    }
+
+    /// Total fences so far.
+    pub fn fences(&self) -> u64 {
+        self.fences.load(Ordering::Relaxed)
+    }
+}
+
+impl PmemStatsSnapshot {
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, earlier: &PmemStatsSnapshot) -> PmemStatsSnapshot {
+        PmemStatsSnapshot {
+            flush_lines: self.flush_lines - earlier.flush_lines,
+            flush_calls: self.flush_calls - earlier.flush_calls,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = PmemStats::default();
+        s.record_flush(3);
+        s.record_flush(1);
+        s.record_fence();
+        let snap = s.snapshot();
+        assert_eq!(snap.flush_lines, 4);
+        assert_eq!(snap.flush_calls, 2);
+        assert_eq!(snap.fences, 1);
+    }
+
+    #[test]
+    fn snapshot_since() {
+        let s = PmemStats::default();
+        s.record_flush(2);
+        let a = s.snapshot();
+        s.record_flush(5);
+        s.record_fence();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.flush_lines, 5);
+        assert_eq!(d.flush_calls, 1);
+        assert_eq!(d.fences, 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! A library-mode key-value store — the memcached stand-in for the YCSB
+//! experiment (paper §6.3, Fig. 5f).
+//!
+//! The paper converted memcached into a library so the client calls the
+//! key-value code directly (no sockets), putting the allocator on the
+//! critical path of every set/update. This store reproduces that shape:
+//! a chained hash table with per-bucket locks, values stored in
+//! allocator-provided blocks (one allocation per entry; updates of a
+//! different size reallocate, as memcached item replacement does).
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ralloc::PersistentAllocator;
+
+#[repr(C)]
+struct Entry {
+    key: u64,
+    vlen: u32,
+    _pad: u32,
+    next: *mut Entry,
+    // value bytes follow inline
+}
+
+const HDR: usize = std::mem::size_of::<Entry>();
+
+#[inline]
+fn value_ptr(e: *mut Entry) -> *mut u8 {
+    // SAFETY: entries are allocated with HDR + vlen bytes.
+    unsafe { (e as *mut u8).add(HDR) }
+}
+
+/// Fibonacci hash: good spread for sequential YCSB keys.
+#[inline]
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A concurrent chained-hash KV store of `u64 -> bytes` over `A`.
+pub struct KvStore<A: PersistentAllocator> {
+    alloc: A,
+    buckets: Vec<RwLock<*mut Entry>>,
+    mask: u64,
+    len: AtomicUsize,
+}
+
+// SAFETY: bucket chains are guarded by their RwLock; entries never move.
+unsafe impl<A: PersistentAllocator> Send for KvStore<A> {}
+unsafe impl<A: PersistentAllocator> Sync for KvStore<A> {}
+
+impl<A: PersistentAllocator> KvStore<A> {
+    /// Create a store with `buckets` buckets (rounded up to a power of 2).
+    pub fn new(alloc: A, buckets: usize) -> KvStore<A> {
+        let n = buckets.next_power_of_two().max(16);
+        KvStore {
+            alloc,
+            buckets: (0..n).map(|_| RwLock::new(std::ptr::null_mut())).collect(),
+            mask: n as u64 - 1,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the allocator.
+    pub fn allocator(&self) -> &A {
+        &self.alloc
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &RwLock<*mut Entry> {
+        &self.buckets[(hash(key) & self.mask) as usize]
+    }
+
+    fn make_entry(&self, key: u64, value: &[u8], next: *mut Entry) -> *mut Entry {
+        let e = self.alloc.malloc(HDR + value.len()) as *mut Entry;
+        assert!(!e.is_null(), "allocator exhausted in KvStore");
+        // SAFETY: fresh block of HDR + vlen bytes.
+        unsafe {
+            (*e).key = key;
+            (*e).vlen = value.len() as u32;
+            (*e)._pad = 0;
+            (*e).next = next;
+            std::ptr::copy_nonoverlapping(value.as_ptr(), value_ptr(e), value.len());
+        }
+        self.alloc.persist(e as *const u8, HDR + value.len());
+        e
+    }
+
+    /// Insert or update; returns true if the key was new.
+    pub fn set(&self, key: u64, value: &[u8]) -> bool {
+        let mut head = self.bucket(key).write();
+        let mut cur = *head;
+        let mut prev: *mut Entry = std::ptr::null_mut();
+        // SAFETY: chain guarded by the bucket write lock.
+        unsafe {
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    if (*cur).vlen as usize == value.len() {
+                        // In-place update (memcached same-size fast path).
+                        std::ptr::copy_nonoverlapping(value.as_ptr(), value_ptr(cur), value.len());
+                        self.alloc.persist(value_ptr(cur), value.len());
+                    } else {
+                        // Replace: allocate new item, splice, free old.
+                        let repl = self.make_entry(key, value, (*cur).next);
+                        if prev.is_null() {
+                            *head = repl;
+                        } else {
+                            (*prev).next = repl;
+                        }
+                        self.alloc.free(cur as *mut u8);
+                    }
+                    return false;
+                }
+                prev = cur;
+                cur = (*cur).next;
+            }
+            let e = self.make_entry(key, value, *head);
+            *head = e;
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Read a value into `buf`; returns the value length if present.
+    pub fn get_into(&self, key: u64, buf: &mut [u8]) -> Option<usize> {
+        let head = self.bucket(key).read();
+        let mut cur = *head;
+        // SAFETY: chain guarded by the bucket read lock.
+        unsafe {
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    let n = ((*cur).vlen as usize).min(buf.len());
+                    std::ptr::copy_nonoverlapping(value_ptr(cur), buf.as_mut_ptr(), n);
+                    return Some((*cur).vlen as usize);
+                }
+                cur = (*cur).next;
+            }
+        }
+        None
+    }
+
+    /// Read a value as an owned vector.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let head = self.bucket(key).read();
+        let mut cur = *head;
+        // SAFETY: chain guarded by the bucket read lock.
+        unsafe {
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    let n = (*cur).vlen as usize;
+                    let mut out = vec![0u8; n];
+                    std::ptr::copy_nonoverlapping(value_ptr(cur), out.as_mut_ptr(), n);
+                    return Some(out);
+                }
+                cur = (*cur).next;
+            }
+        }
+        None
+    }
+
+    /// Delete a key; true if it was present. Frees the entry.
+    pub fn delete(&self, key: u64) -> bool {
+        let mut head = self.bucket(key).write();
+        let mut cur = *head;
+        let mut prev: *mut Entry = std::ptr::null_mut();
+        // SAFETY: chain guarded by the bucket write lock.
+        unsafe {
+            while !cur.is_null() {
+                if (*cur).key == key {
+                    if prev.is_null() {
+                        *head = (*cur).next;
+                    } else {
+                        (*prev).next = (*cur).next;
+                    }
+                    self.alloc.free(cur as *mut u8);
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                    return true;
+                }
+                prev = cur;
+                cur = (*cur).next;
+            }
+        }
+        false
+    }
+}
+
+impl<A: PersistentAllocator> Drop for KvStore<A> {
+    fn drop(&mut self) {
+        for b in &self.buckets {
+            let mut cur = *b.write();
+            while !cur.is_null() {
+                // SAFETY: exclusive access during drop.
+                let next = unsafe { (*cur).next };
+                self.alloc.free(cur as *mut u8);
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::SystemAlloc;
+    use ralloc::{Ralloc, RallocConfig};
+
+    #[test]
+    fn set_get_delete() {
+        let kv = KvStore::new(SystemAlloc::new(), 64);
+        assert!(kv.set(1, b"hello"));
+        assert!(!kv.set(1, b"world"), "update is not an insert");
+        assert_eq!(kv.get(1).as_deref(), Some(&b"world"[..]));
+        assert!(kv.delete(1));
+        assert!(!kv.delete(1));
+        assert_eq!(kv.get(1), None);
+    }
+
+    #[test]
+    fn different_size_update_reallocates() {
+        let kv = KvStore::new(Ralloc::create(8 << 20, RallocConfig::default()), 64);
+        kv.set(9, &[7u8; 100]);
+        kv.set(9, &[8u8; 400]); // forces replacement
+        assert_eq!(kv.get(9).unwrap(), vec![8u8; 400]);
+        kv.set(9, &[9u8; 16]);
+        assert_eq!(kv.get(9).unwrap(), vec![9u8; 16]);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn get_into_reports_full_length() {
+        let kv = KvStore::new(SystemAlloc::new(), 64);
+        kv.set(5, &[3u8; 64]);
+        let mut buf = [0u8; 16];
+        assert_eq!(kv.get_into(5, &mut buf), Some(64));
+        assert_eq!(buf, [3u8; 16]);
+        assert_eq!(kv.get_into(6, &mut buf), None);
+    }
+
+    #[test]
+    fn many_keys_chain_correctly() {
+        let kv = KvStore::new(SystemAlloc::new(), 16); // force chains
+        for k in 0..2000u64 {
+            kv.set(k, &k.to_le_bytes());
+        }
+        assert_eq!(kv.len(), 2000);
+        for k in 0..2000u64 {
+            assert_eq!(kv.get(k).unwrap(), k.to_le_bytes());
+        }
+        for k in (0..2000u64).step_by(2) {
+            assert!(kv.delete(k));
+        }
+        assert_eq!(kv.len(), 1000);
+        for k in 0..2000u64 {
+            assert_eq!(kv.get(k).is_some(), k % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_and_readers() {
+        let kv = std::sync::Arc::new(KvStore::new(
+            Ralloc::create(64 << 20, RallocConfig::default()),
+            1024,
+        ));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..5000u64 {
+                        let k = t * 5000 + i;
+                        kv.set(k, &k.to_le_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(kv.len(), 20_000);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let kv = kv.clone();
+                s.spawn(move || {
+                    for i in 0..5000u64 {
+                        let k = t * 5000 + i;
+                        assert_eq!(kv.get(k).unwrap(), k.to_le_bytes());
+                    }
+                });
+            }
+        });
+    }
+}

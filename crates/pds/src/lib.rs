@@ -1,0 +1,34 @@
+//! # pds — persistent data structures for the evaluation
+//!
+//! The paper's experiments run data structures *on top of* the allocators
+//! under test (§6.2–§6.4). This crate implements each of them from
+//! scratch:
+//!
+//! | structure | used by | paper reference |
+//! |---|---|---|
+//! | [`MsQueue`] | Prod-con (Fig. 5d) | Michael & Scott, PODC'96 |
+//! | [`PStack`] | recovery experiment (Fig. 6a) | Treiber stack |
+//! | [`NmTree`] | recovery experiment (Fig. 6b) | Natarajan & Mittal, PPoPP'14 |
+//! | [`RbTree`] | Vacation OLTP (Fig. 5e) | STAMP's red-black trees |
+//! | [`KvStore`] | memcached/YCSB (Fig. 5f) | library-mode memcached |
+//!
+//! `MsQueue`, `RbTree` and `KvStore` are generic over any
+//! [`ralloc::PersistentAllocator`], because the corresponding figures
+//! compare allocators. `PStack` and `NmTree` are **recoverable**
+//! structures bound to a Ralloc heap: their data lives entirely inside
+//! the persistent region, reachable from a registered root, with filter
+//! functions ([`ralloc::Trace`] impls) so the recovery GC traces them
+//! precisely. Their node links are superblock-region offsets packed with
+//! ABA counters or mark bits — position-independent by construction.
+
+mod kvstore;
+mod nmtree;
+mod queue;
+mod rbtree;
+mod stack;
+
+pub use kvstore::KvStore;
+pub use nmtree::NmTree;
+pub use queue::MsQueue;
+pub use rbtree::RbTree;
+pub use stack::PStack;

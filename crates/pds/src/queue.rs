@@ -1,0 +1,369 @@
+//! The Michael & Scott lock-free FIFO queue (PODC'96), used by the
+//! Prod-con benchmark (paper Fig. 5d) exactly as the paper does: one
+//! queue per producer/consumer thread pair, carrying pointers to blocks
+//! allocated from the allocator under test.
+//!
+//! Implementation notes:
+//!
+//! * Head/tail/links are counted pointers — {16-bit ABA counter | 48-bit
+//!   address} — as in the original algorithm, so no wide CAS is needed.
+//! * Dequeued nodes go to an internal lock-free free list and are only
+//!   returned to the allocator when the queue is dropped, the original
+//!   paper's node-reuse discipline. This makes the unavoidable
+//!   read-after-dequeue of `next` safe for *any* allocator (the node is
+//!   never unmapped or reused for another type while the queue lives).
+//! * The queue handle itself is transient; the *workload's objects* are
+//!   what exercise the persistent allocator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ralloc::PersistentAllocator;
+
+const ADDR_BITS: u32 = 48;
+const ADDR_MASK: u64 = (1u64 << ADDR_BITS) - 1;
+
+#[inline]
+fn pack(addr: usize, ctr: u64) -> u64 {
+    debug_assert_eq!(addr as u64 & !ADDR_MASK, 0, "address exceeds 48 bits");
+    (ctr << ADDR_BITS) | addr as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (usize, u64) {
+    ((word & ADDR_MASK) as usize, word >> ADDR_BITS)
+}
+
+#[repr(C)]
+struct Node {
+    value: u64,
+    /// Counted pointer to the next node (address 0 = none).
+    next: AtomicU64,
+}
+
+/// A Michael–Scott queue of `u64` values over allocator `A`.
+pub struct MsQueue<A: PersistentAllocator> {
+    alloc: A,
+    head: AtomicU64,
+    tail: AtomicU64,
+    /// Treiber free list of retired nodes (counted head).
+    free: AtomicU64,
+}
+
+// SAFETY: all shared state is atomic; nodes are plain memory.
+unsafe impl<A: PersistentAllocator> Send for MsQueue<A> {}
+unsafe impl<A: PersistentAllocator> Sync for MsQueue<A> {}
+
+impl<A: PersistentAllocator> MsQueue<A> {
+    /// Create a queue with its dummy node drawn from `alloc`.
+    pub fn new(alloc: A) -> MsQueue<A> {
+        let dummy = alloc.malloc(std::mem::size_of::<Node>()) as *mut Node;
+        assert!(!dummy.is_null(), "allocator exhausted creating queue dummy");
+        // SAFETY: fresh block.
+        unsafe {
+            (*dummy).value = 0;
+            (*dummy).next = AtomicU64::new(pack(0, 0));
+        }
+        MsQueue {
+            alloc,
+            head: AtomicU64::new(pack(dummy as usize, 0)),
+            tail: AtomicU64::new(pack(dummy as usize, 0)),
+            free: AtomicU64::new(pack(0, 0)),
+        }
+    }
+
+    /// Grab a node from the internal free list or the allocator.
+    fn new_node(&self, value: u64) -> *mut Node {
+        loop {
+            let f = self.free.load(Ordering::Acquire);
+            let (addr, ctr) = unpack(f);
+            if addr == 0 {
+                let n = self.alloc.malloc(std::mem::size_of::<Node>()) as *mut Node;
+                if n.is_null() {
+                    return std::ptr::null_mut();
+                }
+                // SAFETY: fresh block.
+                unsafe {
+                    (*n).value = value;
+                    (*n).next = AtomicU64::new(pack(0, 0));
+                }
+                return n;
+            }
+            let node = addr as *mut Node;
+            // SAFETY: free-list nodes stay allocated until Drop.
+            let next = unsafe { (*node).next.load(Ordering::Acquire) };
+            let (next_addr, _) = unpack(next);
+            if self
+                .free
+                .compare_exchange_weak(
+                    f,
+                    pack(next_addr, (ctr + 1) & 0xFFFF),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // SAFETY: we own the popped node.
+                unsafe {
+                    (*node).value = value;
+                    (*node).next.store(pack(0, 0), Ordering::Relaxed);
+                }
+                return node;
+            }
+        }
+    }
+
+    /// Retire a dequeued node to the free list.
+    fn retire(&self, node: *mut Node) {
+        loop {
+            let f = self.free.load(Ordering::Acquire);
+            let (addr, ctr) = unpack(f);
+            // SAFETY: we own the retired node.
+            unsafe { (*node).next.store(pack(addr, 0), Ordering::Relaxed) };
+            if self
+                .free
+                .compare_exchange_weak(
+                    f,
+                    pack(node as usize, (ctr + 1) & 0xFFFF),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Enqueue a value (lock-free). Returns false on allocator exhaustion.
+    pub fn enqueue(&self, value: u64) -> bool {
+        let node = self.new_node(value);
+        if node.is_null() {
+            return false;
+        }
+        loop {
+            let t = self.tail.load(Ordering::Acquire);
+            let (tail_addr, tail_ctr) = unpack(t);
+            let tail = tail_addr as *mut Node;
+            // SAFETY: tail nodes stay mapped (free-list discipline).
+            let next = unsafe { (*tail).next.load(Ordering::Acquire) };
+            let (next_addr, next_ctr) = unpack(next);
+            if t != self.tail.load(Ordering::Acquire) {
+                continue;
+            }
+            if next_addr == 0 {
+                // SAFETY: CAS on the live tail's next.
+                if unsafe {
+                    (*tail)
+                        .next
+                        .compare_exchange_weak(
+                            next,
+                            pack(node as usize, (next_ctr + 1) & 0xFFFF),
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                } {
+                    // Swing tail (best effort).
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        pack(node as usize, (tail_ctr + 1) & 0xFFFF),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    return true;
+                }
+            } else {
+                // Help swing the lagging tail.
+                let _ = self.tail.compare_exchange(
+                    t,
+                    pack(next_addr, (tail_ctr + 1) & 0xFFFF),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+    }
+
+    /// Dequeue a value (lock-free); `None` when empty.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let (head_addr, head_ctr) = unpack(h);
+            let t = self.tail.load(Ordering::Acquire);
+            let (tail_addr, tail_ctr) = unpack(t);
+            let head = head_addr as *mut Node;
+            // SAFETY: head stays mapped.
+            let next = unsafe { (*head).next.load(Ordering::Acquire) };
+            let (next_addr, _) = unpack(next);
+            if h != self.head.load(Ordering::Acquire) {
+                continue;
+            }
+            if head_addr == tail_addr {
+                if next_addr == 0 {
+                    return None;
+                }
+                // Tail is lagging: help.
+                let _ = self.tail.compare_exchange(
+                    t,
+                    pack(next_addr, (tail_ctr + 1) & 0xFFFF),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                continue;
+            }
+            // Read the value before CAS (original M&S ordering).
+            // SAFETY: next stays mapped.
+            let value = unsafe { (*(next_addr as *const Node)).value };
+            if self
+                .head
+                .compare_exchange_weak(
+                    h,
+                    pack(next_addr, (head_ctr + 1) & 0xFFFF),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.retire(head);
+                return Some(value);
+            }
+        }
+    }
+
+    /// Borrow the allocator.
+    pub fn allocator(&self) -> &A {
+        &self.alloc
+    }
+}
+
+impl<A: PersistentAllocator> Drop for MsQueue<A> {
+    fn drop(&mut self) {
+        // Return queue nodes and free-list nodes to the allocator.
+        let (mut cur, _) = unpack(*self.head.get_mut());
+        while cur != 0 {
+            // SAFETY: exclusive access during drop.
+            let next = unsafe { unpack((*(cur as *mut Node)).next.load(Ordering::Relaxed)).0 };
+            self.alloc.free(cur as *mut u8);
+            cur = next;
+        }
+        let (mut cur, _) = unpack(*self.free.get_mut());
+        while cur != 0 {
+            // SAFETY: exclusive access during drop.
+            let next = unsafe { unpack((*(cur as *mut Node)).next.load(Ordering::Relaxed)).0 };
+            self.alloc.free(cur as *mut u8);
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::SystemAlloc;
+    use ralloc::{Ralloc, RallocConfig};
+
+    #[test]
+    fn fifo_semantics() {
+        let q = MsQueue::new(SystemAlloc::new());
+        assert_eq!(q.dequeue(), None);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        q.enqueue(4);
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), Some(4));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn works_over_ralloc() {
+        let q = MsQueue::new(Ralloc::create(8 << 20, RallocConfig::default()));
+        for i in 0..10_000 {
+            assert!(q.enqueue(i));
+        }
+        for i in 0..10_000 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn nodes_recycled_through_free_list() {
+        let q = MsQueue::new(Ralloc::create(1 << 20, RallocConfig::default()));
+        // Far more operations than the pool could hold without reuse.
+        for round in 0..10_000u64 {
+            q.enqueue(round);
+            assert_eq!(q.dequeue(), Some(round));
+        }
+    }
+
+    #[test]
+    fn spsc_transfers_all_values() {
+        let q = std::sync::Arc::new(MsQueue::new(SystemAlloc::new()));
+        let n = 100_000u64;
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..n {
+                    q.enqueue(i);
+                }
+            })
+        };
+        let mut got = Vec::with_capacity(n as usize);
+        while got.len() < n as usize {
+            if let Some(v) = q.dequeue() {
+                got.push(v);
+            }
+        }
+        producer.join().unwrap();
+        // FIFO per producer: strictly increasing.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(got.len(), n as usize);
+    }
+
+    #[test]
+    fn mpmc_conserves_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = std::sync::Arc::new(MsQueue::new(SystemAlloc::new()));
+        let producers = 4u64;
+        let per = 20_000u64;
+        let total = (producers * per) as usize;
+        let popped = AtomicUsize::new(0);
+        let consumed: Vec<Vec<u64>> = std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..per {
+                        q.enqueue(p * per + i);
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let q = q.clone();
+                    let popped = &popped;
+                    s.spawn(move || {
+                        let mut got = Vec::new();
+                        // Shared progress counter: consumers stop when the
+                        // group has drained everything, regardless of how
+                        // the elements were distributed among them.
+                        while popped.load(Ordering::Relaxed) < total {
+                            if let Some(v) = q.dequeue() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = consumed.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "duplicate or lost element");
+    }
+}

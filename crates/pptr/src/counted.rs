@@ -1,0 +1,126 @@
+//! ABA-safe counted index words for Treiber stack heads.
+//!
+//! The heads of the superblock free list and the per-size-class partial
+//! lists are lock-free LIFO stacks of descriptors. A pop that reads head
+//! `A`, is delayed, and then CASes while `A` was popped and pushed back
+//! would corrupt the list (the ABA problem, paper §4.2 / Scott §2.3.1).
+//! The paper devotes 34 bits of each list head to a monotonically
+//! increasing counter, leaving 30 bits for the descriptor index — enough
+//! for 2^30 superblocks × 64 KiB = 64 TiB of heap, comfortably above the
+//! 1 TB region limit.
+
+/// Packed `{counter: 34, index+1: 30}` word. Index field value 0 encodes
+/// the empty list, so zeroed NVM decodes as an empty stack head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct Counted(pub u64);
+
+/// Number of bits for the (index+1) field.
+const IDX_BITS: u32 = 30;
+const IDX_MASK: u64 = (1u64 << IDX_BITS) - 1;
+
+impl Counted {
+    /// An empty head (counter 0).
+    pub const EMPTY: Counted = Counted(0);
+
+    /// Build from parts. `idx == None` encodes the empty list.
+    #[inline]
+    pub fn pack(idx: Option<u32>, counter: u64) -> Self {
+        let idxf = match idx {
+            None => 0,
+            Some(i) => {
+                debug_assert!((i as u64) < IDX_MASK, "descriptor index too large");
+                i as u64 + 1
+            }
+        };
+        Counted((counter << IDX_BITS) | idxf)
+    }
+
+    /// The head descriptor index, `None` if the list is empty.
+    #[inline]
+    pub fn idx(&self) -> Option<u32> {
+        let f = self.0 & IDX_MASK;
+        if f == 0 {
+            None
+        } else {
+            Some((f - 1) as u32)
+        }
+    }
+
+    /// The ABA counter (wraps modulo 2^34).
+    #[inline]
+    pub fn counter(&self) -> u64 {
+        self.0 >> IDX_BITS
+    }
+
+    /// A head with a new index and the counter advanced by one.
+    #[inline]
+    pub fn advance(&self, idx: Option<u32>) -> Self {
+        Self::pack(idx, (self.counter() + 1) & ((1u64 << 34) - 1))
+    }
+}
+
+impl Default for Counted {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(Counted::EMPTY.0, 0);
+        assert_eq!(Counted::EMPTY.idx(), None);
+        assert_eq!(Counted::EMPTY.counter(), 0);
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let c = Counted::pack(Some(0), 0);
+        assert_eq!(c.idx(), Some(0));
+        assert_eq!(c.counter(), 0);
+        let c = Counted::pack(Some(123456), 999);
+        assert_eq!(c.idx(), Some(123456));
+        assert_eq!(c.counter(), 999);
+        let c = Counted::pack(None, 7);
+        assert_eq!(c.idx(), None);
+        assert_eq!(c.counter(), 7);
+    }
+
+    #[test]
+    fn advance_bumps_counter() {
+        let c = Counted::pack(Some(5), 10);
+        let d = c.advance(Some(6));
+        assert_eq!(d.idx(), Some(6));
+        assert_eq!(d.counter(), 11);
+        let e = d.advance(None);
+        assert_eq!(e.idx(), None);
+        assert_eq!(e.counter(), 12);
+    }
+
+    #[test]
+    fn counter_wraps_at_34_bits() {
+        let c = Counted::pack(Some(1), (1u64 << 34) - 1);
+        let d = c.advance(Some(1));
+        assert_eq!(d.counter(), 0);
+        assert_eq!(d.idx(), Some(1));
+    }
+
+    #[test]
+    fn distinct_counters_distinct_words() {
+        // The ABA defence: same index, different counters, different bits.
+        let a = Counted::pack(Some(9), 1);
+        let b = Counted::pack(Some(9), 2);
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn max_index_fits() {
+        let max = (IDX_MASK - 1) as u32;
+        let c = Counted::pack(Some(max), 0);
+        assert_eq!(c.idx(), Some(max));
+    }
+}

@@ -1,0 +1,118 @@
+//! Region-based persistent offsets.
+//!
+//! The paper's `pptr` takes an optional template parameter naming a region
+//! (metadata, descriptor, or superblock) and then stores a *based* offset
+//! from that region's start instead of a self-relative offset. Application
+//! programmers never need these; they appear only inside allocator
+//! metadata (persistent roots live in the metadata region but point into
+//! the superblock region). [`RIdx`] is the Rust analogue: a plain region
+//! offset with an explicit null encoding, convertible to/from absolute
+//! addresses given the region base.
+
+/// A persistent offset into a named region (null-able).
+///
+/// `repr(transparent)` over `u64`; the all-ones value is null so that a
+/// *zeroed* word decodes as offset 0 — callers that need zeroed-memory ==
+/// null (like the root array) store `RIdx::encode_or_zero` instead, which
+/// uses offset+1 encoding. Two encodings are provided because descriptors
+/// index from 0 while roots must treat fresh zeroed NVM as "no root".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+pub struct RIdx(pub u64);
+
+impl RIdx {
+    /// Null marker for the plain encoding.
+    pub const NULL: RIdx = RIdx(u64::MAX);
+
+    /// A non-null offset.
+    #[inline]
+    pub fn new(off: u64) -> Self {
+        debug_assert_ne!(off, u64::MAX);
+        RIdx(off)
+    }
+
+    /// True if this is the null marker.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Offset value; panics on null.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        assert!(!self.is_null(), "RIdx::get on null");
+        self.0
+    }
+
+    /// Absolute address given the region base; None if null.
+    #[inline]
+    pub fn to_addr(&self, base: usize) -> Option<usize> {
+        if self.is_null() {
+            None
+        } else {
+            Some(base + self.0 as usize)
+        }
+    }
+
+    /// Build from an absolute address within the region.
+    #[inline]
+    pub fn from_addr(base: usize, addr: usize) -> Self {
+        debug_assert!(addr >= base);
+        RIdx((addr - base) as u64)
+    }
+
+    // ---- offset+1 encoding: raw 0 means null (for zero-initialized NVM) ----
+
+    /// Encode an optional offset such that raw `0` is null.
+    #[inline]
+    pub fn encode_or_zero(off: Option<u64>) -> u64 {
+        match off {
+            None => 0,
+            Some(o) => o + 1,
+        }
+    }
+
+    /// Decode the offset+1 encoding.
+    #[inline]
+    pub fn decode_or_zero(raw: u64) -> Option<u64> {
+        raw.checked_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handling() {
+        assert!(RIdx::NULL.is_null());
+        assert!(!RIdx::new(0).is_null());
+        assert_eq!(RIdx::NULL.to_addr(0x1000), None);
+    }
+
+    #[test]
+    fn addr_roundtrip() {
+        let base = 0x7f00_0000usize;
+        let r = RIdx::from_addr(base, base + 4096);
+        assert_eq!(r.get(), 4096);
+        assert_eq!(r.to_addr(base), Some(base + 4096));
+        // Remapping at a different base lands at the same relative spot.
+        let base2 = 0x1_0000_0000usize;
+        assert_eq!(r.to_addr(base2), Some(base2 + 4096));
+    }
+
+    #[test]
+    fn zero_encoding() {
+        assert_eq!(RIdx::encode_or_zero(None), 0);
+        assert_eq!(RIdx::encode_or_zero(Some(0)), 1);
+        assert_eq!(RIdx::decode_or_zero(0), None);
+        assert_eq!(RIdx::decode_or_zero(1), Some(0));
+        assert_eq!(RIdx::decode_or_zero(4097), Some(4096));
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_on_null_panics() {
+        RIdx::NULL.get();
+    }
+}

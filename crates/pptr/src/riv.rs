@@ -1,0 +1,364 @@
+//! Region-ID-in-Value (RIV) pointers — the paper's stated near-term plan
+//! (§4.6): "implement a Region ID in Value variant of `pptr`, retaining
+//! the smart pointer interface and the size of 64 bits" (after Chen et
+//! al., MICRO'17). Self-relative off-holders cannot reference a *different*
+//! persistent heap; a [`RivPtr`] can, by naming the target region in the
+//! value:
+//!
+//! ```text
+//! 63      56 55      48 47                                            0
+//! +---------+----------+-----------------------------------------------+
+//! | 0xA6    | region id| region offset + 1  (0 = null in this field)   |
+//! +---------+----------+-----------------------------------------------+
+//! ```
+//!
+//! A process-wide [`RegionTable`] maps region ids to the virtual address
+//! at which each persistent region is currently mapped; every process
+//! (and every run) re-registers its mappings, so the stored value is
+//! position-independent. The 0xA6 tag is distinct from the off-holder
+//! tag (0xA5 high byte), so conservative GC can tell them apart.
+//!
+//! Like the paper's plan, this is a *pointer representation*; cross-heap
+//! garbage collection is out of scope (a region's GC treats incoming RIV
+//! pointers from other regions as roots that must be registered
+//! explicitly).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// High-byte tag marking RIV pointers.
+pub const RIV_TAG: u8 = 0xA6;
+
+/// Maximum number of registered regions.
+pub const MAX_REGIONS: usize = 256;
+
+const OFF_MASK: u64 = (1u64 << 48) - 1;
+
+/// Process-wide region-id → (base, len) mapping. Registration is
+/// per-run: ids are persistent, addresses are not.
+pub struct RegionTable {
+    bases: [AtomicUsize; MAX_REGIONS],
+    lens: [AtomicUsize; MAX_REGIONS],
+}
+
+impl RegionTable {
+    const fn new() -> RegionTable {
+        // AtomicUsize isn't Copy; build the arrays with a const block.
+        RegionTable {
+            bases: [const { AtomicUsize::new(0) }; MAX_REGIONS],
+            lens: [const { AtomicUsize::new(0) }; MAX_REGIONS],
+        }
+    }
+
+    /// Map `id` to the region currently at `base..base+len`.
+    pub fn register(&self, id: u8, base: usize, len: usize) {
+        assert!(base != 0, "region base must be non-null");
+        self.lens[id as usize].store(len, Ordering::Release);
+        self.bases[id as usize].store(base, Ordering::Release);
+    }
+
+    /// Remove a mapping (e.g. the heap was closed).
+    pub fn unregister(&self, id: u8) {
+        self.bases[id as usize].store(0, Ordering::Release);
+        self.lens[id as usize].store(0, Ordering::Release);
+    }
+
+    /// Current base of `id`, if registered.
+    pub fn base(&self, id: u8) -> Option<usize> {
+        match self.bases[id as usize].load(Ordering::Acquire) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Current extent of `id`, if registered.
+    pub fn len(&self, id: u8) -> Option<usize> {
+        self.base(id)?;
+        Some(self.lens[id as usize].load(Ordering::Acquire))
+    }
+
+    /// Reverse lookup: which registered region contains `addr`?
+    pub fn region_of(&self, addr: usize) -> Option<(u8, usize)> {
+        for id in 0..MAX_REGIONS {
+            let base = self.bases[id].load(Ordering::Acquire);
+            if base == 0 {
+                continue;
+            }
+            let len = self.lens[id].load(Ordering::Acquire);
+            if addr >= base && addr < base + len {
+                return Some((id as u8, base));
+            }
+        }
+        None
+    }
+}
+
+/// The process-wide table used by [`RivPtr`].
+pub static REGIONS: RegionTable = RegionTable::new();
+
+/// True if `word` carries the RIV tag.
+#[inline]
+pub fn is_riv_pattern(word: u64) -> bool {
+    (word >> 56) as u8 == RIV_TAG && word & OFF_MASK != 0
+}
+
+/// A 64-bit cross-region persistent pointer (RIV representation).
+///
+/// Unlike [`crate::Pptr`], the encoding does not depend on the field's
+/// own address, so `RivPtr` is `Copy` and can be moved freely; the cost
+/// is one region-table lookup per dereference (Chen et al. measure this
+/// variant within ~10% of raw pointers as well).
+#[repr(transparent)]
+pub struct RivPtr<T> {
+    raw: u64,
+    _marker: PhantomData<*const T>,
+}
+
+impl<T> Clone for RivPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RivPtr<T> {}
+
+impl<T> RivPtr<T> {
+    /// The null pointer (also zeroed-NVM's value).
+    pub const fn null() -> RivPtr<T> {
+        RivPtr { raw: 0, _marker: PhantomData }
+    }
+
+    /// Point at `addr`, which must lie inside the registered region `id`.
+    pub fn new(id: u8, addr: usize) -> RivPtr<T> {
+        let base = REGIONS.base(id).expect("RivPtr::new: region not registered");
+        let len = REGIONS.len(id).unwrap();
+        assert!(
+            addr >= base && addr < base + len,
+            "RivPtr::new: address outside region {id}"
+        );
+        let off1 = (addr - base) as u64 + 1;
+        debug_assert!(off1 <= OFF_MASK);
+        RivPtr {
+            raw: ((RIV_TAG as u64) << 56) | ((id as u64) << 48) | off1,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Point at `addr` in whichever registered region contains it.
+    pub fn from_addr(addr: usize) -> RivPtr<T> {
+        let (id, _) = REGIONS
+            .region_of(addr)
+            .expect("RivPtr::from_addr: address in no registered region");
+        Self::new(id, addr)
+    }
+
+    /// Raw 64-bit representation.
+    pub fn raw(&self) -> u64 {
+        self.raw
+    }
+
+    /// Rebuild from the raw representation (e.g. read from NVM).
+    pub fn from_raw(raw: u64) -> RivPtr<T> {
+        debug_assert!(raw == 0 || is_riv_pattern(raw));
+        RivPtr { raw, _marker: PhantomData }
+    }
+
+    /// True if null.
+    pub fn is_null(&self) -> bool {
+        self.raw == 0
+    }
+
+    /// The target region's id (None if null).
+    pub fn region(&self) -> Option<u8> {
+        if self.is_null() {
+            None
+        } else {
+            Some((self.raw >> 48) as u8)
+        }
+    }
+
+    /// Resolve to an absolute address in the current mapping. `None` if
+    /// null or if the region is not registered in this process.
+    pub fn as_ptr(&self) -> Option<*mut T> {
+        if self.is_null() {
+            return None;
+        }
+        let id = (self.raw >> 48) as u8;
+        let base = REGIONS.base(id)?;
+        let off = (self.raw & OFF_MASK) - 1;
+        Some((base + off as usize) as *mut T)
+    }
+
+    /// Dereference.
+    ///
+    /// # Safety
+    /// The target region must be registered at its current mapping and
+    /// the pointee must be a live `T`.
+    pub unsafe fn as_ref(&self) -> Option<&T> {
+        self.as_ptr().map(|p| unsafe { &*p })
+    }
+}
+
+impl<T> Default for RivPtr<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl<T> std::fmt::Debug for RivPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.region(), self.as_ptr()) {
+            (Some(id), Some(p)) => write!(f, "RivPtr(region {id} -> {p:p})"),
+            (Some(id), None) => write!(f, "RivPtr(region {id}, unmapped)"),
+            _ => write!(f, "RivPtr(null)"),
+        }
+    }
+}
+
+/// Atomic RIV pointer: position-independent cross-region pointer with
+/// single-word CAS (the advantage over 128-bit based pointers).
+#[repr(transparent)]
+pub struct AtomicRivPtr<T> {
+    raw: AtomicU64,
+    _marker: PhantomData<*const T>,
+}
+
+impl<T> AtomicRivPtr<T> {
+    /// A new null pointer.
+    pub const fn null() -> AtomicRivPtr<T> {
+        AtomicRivPtr { raw: AtomicU64::new(0), _marker: PhantomData }
+    }
+
+    /// Load the current value.
+    pub fn load(&self, order: Ordering) -> RivPtr<T> {
+        RivPtr::from_raw(self.raw.load(order))
+    }
+
+    /// Store a new value.
+    pub fn store(&self, p: RivPtr<T>, order: Ordering) {
+        self.raw.store(p.raw, order)
+    }
+
+    /// Single-word compare-and-swap.
+    pub fn compare_exchange(
+        &self,
+        current: RivPtr<T>,
+        new: RivPtr<T>,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<RivPtr<T>, RivPtr<T>> {
+        self.raw
+            .compare_exchange(current.raw, new.raw, success, failure)
+            .map(RivPtr::from_raw)
+            .map_err(RivPtr::from_raw)
+    }
+}
+
+impl<T> Default for AtomicRivPtr<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests share the global table; use distinct ids per test.
+    fn buf(len: usize) -> Vec<u64> {
+        vec![0u64; len]
+    }
+
+    #[test]
+    fn roundtrip_within_region() {
+        let data = buf(64);
+        let base = data.as_ptr() as usize;
+        REGIONS.register(10, base, 64 * 8);
+        let p: RivPtr<u64> = RivPtr::new(10, base + 16);
+        assert_eq!(p.region(), Some(10));
+        assert_eq!(p.as_ptr(), Some((base + 16) as *mut u64));
+        assert!(is_riv_pattern(p.raw()));
+        REGIONS.unregister(10);
+    }
+
+    #[test]
+    fn cross_region_reference() {
+        let a = buf(32);
+        let b = buf(32);
+        REGIONS.register(11, a.as_ptr() as usize, 32 * 8);
+        REGIONS.register(12, b.as_ptr() as usize, 32 * 8);
+        // A pointer value computed in region 11 targeting region 12.
+        let p: RivPtr<u64> = RivPtr::from_addr(b.as_ptr() as usize + 8);
+        assert_eq!(p.region(), Some(12));
+        assert_eq!(p.as_ptr(), Some((b.as_ptr() as usize + 8) as *mut u64));
+        REGIONS.unregister(11);
+        REGIONS.unregister(12);
+    }
+
+    #[test]
+    fn survives_remap() {
+        // Same persistent region mapped at two different addresses across
+        // "runs": the raw value resolves correctly after re-registration.
+        let run1 = buf(16);
+        REGIONS.register(13, run1.as_ptr() as usize, 16 * 8);
+        let p: RivPtr<u64> = RivPtr::new(13, run1.as_ptr() as usize + 40);
+        let raw = p.raw();
+        REGIONS.unregister(13);
+
+        let run2 = buf(16); // a different allocation = different base
+        REGIONS.register(13, run2.as_ptr() as usize, 16 * 8);
+        let q: RivPtr<u64> = RivPtr::from_raw(raw);
+        assert_eq!(q.as_ptr(), Some((run2.as_ptr() as usize + 40) as *mut u64));
+        REGIONS.unregister(13);
+    }
+
+    #[test]
+    fn unregistered_region_resolves_to_none() {
+        let data = buf(8);
+        REGIONS.register(14, data.as_ptr() as usize, 64);
+        let p: RivPtr<u64> = RivPtr::new(14, data.as_ptr() as usize);
+        REGIONS.unregister(14);
+        assert_eq!(p.as_ptr(), None, "unmapped region must not resolve");
+        assert_eq!(p.region(), Some(14));
+    }
+
+    #[test]
+    fn null_is_zero_and_distinct_from_offset_zero() {
+        let data = buf(8);
+        let base = data.as_ptr() as usize;
+        REGIONS.register(15, base, 64);
+        let n: RivPtr<u64> = RivPtr::null();
+        assert!(n.is_null());
+        assert_eq!(n.raw(), 0);
+        // Offset 0 (region base) is representable and non-null.
+        let p: RivPtr<u64> = RivPtr::new(15, base);
+        assert!(!p.is_null());
+        assert_eq!(p.as_ptr(), Some(base as *mut u64));
+        REGIONS.unregister(15);
+    }
+
+    #[test]
+    fn riv_tag_distinct_from_pptr_tag() {
+        let data = buf(8);
+        REGIONS.register(16, data.as_ptr() as usize, 64);
+        let p: RivPtr<u64> = RivPtr::new(16, data.as_ptr() as usize);
+        assert!(!crate::is_pptr_pattern(p.raw()), "GC must not confuse RIV with off-holder");
+        REGIONS.unregister(16);
+    }
+
+    #[test]
+    fn atomic_cas() {
+        let data = buf(8);
+        let base = data.as_ptr() as usize;
+        REGIONS.register(17, base, 64);
+        let cell: AtomicRivPtr<u64> = AtomicRivPtr::null();
+        let p = RivPtr::new(17, base);
+        cell.compare_exchange(RivPtr::null(), p, Ordering::AcqRel, Ordering::Acquire)
+            .unwrap();
+        assert_eq!(cell.load(Ordering::Acquire).as_ptr(), p.as_ptr());
+        let err = cell
+            .compare_exchange(RivPtr::null(), p, Ordering::AcqRel, Ordering::Acquire)
+            .unwrap_err();
+        assert_eq!(err.raw(), p.raw());
+        REGIONS.unregister(17);
+    }
+}

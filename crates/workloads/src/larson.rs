@@ -1,0 +1,140 @@
+//! Larson (paper Fig. 5c): the server-simulation workload of Larson &
+//! Krishnan, whose signature behaviour is **bleeding** — objects
+//! allocated by one thread are freed by another, and worker "threads"
+//! hand their leftover objects to a successor.
+//!
+//! We reproduce bleeding with a ring handoff: each worker churns its slot
+//! array for a round, then passes the whole array to the next worker
+//! (cross-thread frees guaranteed), repeating for a fixed number of
+//! rounds. The paper runs the pattern for 30 s and reports throughput;
+//! we run a fixed op count and report Mops/s so results are deterministic
+//! in CI.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use rand::prelude::*;
+use ralloc::PersistentAllocator;
+
+use crate::DynAlloc;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads (ring size).
+    pub threads: usize,
+    /// Live-object slots per worker (paper: 10³).
+    pub slots: usize,
+    /// Alloc/free operations per round.
+    pub ops_per_round: usize,
+    /// Handoff rounds (paper: fresh thread every 10⁴ iterations).
+    pub rounds: usize,
+    /// Size range (paper: 64–400 B).
+    pub min_size: usize,
+    /// Maximum object size.
+    pub max_size: usize,
+}
+
+impl Params {
+    /// Scaled configuration.
+    pub fn scaled(threads: usize, scale: f64) -> Params {
+        Params {
+            threads,
+            slots: 1_000,
+            ops_per_round: ((20_000.0 * scale) as usize).max(1_000),
+            rounds: 8,
+            min_size: 64,
+            max_size: 400,
+        }
+    }
+
+    /// Total operations across all threads and rounds.
+    pub fn total_ops(&self) -> usize {
+        self.threads * self.rounds * self.ops_per_round
+    }
+}
+
+/// Run Larson; returns throughput in operations per second.
+pub fn run(alloc: &DynAlloc, p: Params) -> f64 {
+    // Ring of channels: worker t sends its slots to worker (t+1) % n.
+    let mut txs = Vec::with_capacity(p.threads);
+    let mut rxs = Vec::with_capacity(p.threads);
+    for _ in 0..p.threads {
+        let (tx, rx) = mpsc::channel::<Vec<usize>>();
+        txs.push(tx);
+        rxs.push(Some(rx));
+    }
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..p.threads {
+            let alloc = alloc.clone();
+            let next_tx = txs[(t + 1) % p.threads].clone();
+            let rx = rxs[t].take().unwrap();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x1A_50 + t as u64);
+                let mut slots: Vec<usize> = vec![0; p.slots];
+                for _round in 0..p.rounds {
+                    for _ in 0..p.ops_per_round {
+                        let i = rng.gen_range(0..p.slots);
+                        if slots[i] != 0 {
+                            // Possibly a block allocated by another
+                            // worker: the bleeding pattern.
+                            alloc.free(slots[i] as *mut u8);
+                        }
+                        let size = rng.gen_range(p.min_size..=p.max_size);
+                        let ptr = alloc.malloc(size);
+                        assert!(!ptr.is_null(), "larson: allocator exhausted");
+                        // SAFETY: fresh block of >= 8 bytes.
+                        unsafe { std::ptr::write(ptr as *mut u64, ptr as u64) };
+                        slots[i] = ptr as usize;
+                    }
+                    // Hand leftovers to the successor worker.
+                    next_tx.send(std::mem::replace(&mut slots, Vec::new())).unwrap();
+                    slots = rx.recv().unwrap();
+                    // Integrity check on inherited blocks.
+                    for &pslot in slots.iter().filter(|&&x| x != 0) {
+                        // SAFETY: live block written by its allocator.
+                        assert_eq!(unsafe { std::ptr::read(pslot as *const u64) }, pslot as u64);
+                    }
+                }
+                for &pslot in slots.iter().filter(|&&x| x != 0) {
+                    alloc.free(pslot as *mut u8);
+                }
+            });
+        }
+    });
+    p.total_ops() as f64 / start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_allocator, AllocKind};
+    use nvm::FlushModel;
+
+    fn tiny(threads: usize) -> Params {
+        Params {
+            threads,
+            slots: 64,
+            ops_per_round: 500,
+            rounds: 3,
+            min_size: 64,
+            max_size: 400,
+        }
+    }
+
+    #[test]
+    fn runs_on_every_allocator() {
+        for kind in AllocKind::all() {
+            let a = make_allocator(kind, 64 << 20, FlushModel::free());
+            let tput = run(&a, tiny(2));
+            assert!(tput > 0.0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn handoff_ring_works_with_odd_thread_count() {
+        let a = make_allocator(AllocKind::Ralloc, 64 << 20, FlushModel::free());
+        assert!(run(&a, tiny(3)) > 0.0);
+    }
+}

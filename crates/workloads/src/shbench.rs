@@ -1,0 +1,109 @@
+//! Shbench (paper Fig. 5b): MicroQuill's allocator stress test.
+//!
+//! Threads allocate and free objects of mixed sizes from 64 to 400 bytes
+//! (Makalu's largest "small" class), with smaller sizes more frequent,
+//! and object lifetimes interleaved through a slot ring so frees hit
+//! blocks of many ages. Metric: wall-clock time (lower is better).
+
+use std::time::{Duration, Instant};
+
+use rand::prelude::*;
+use ralloc::PersistentAllocator;
+
+use crate::DynAlloc;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Worker threads.
+    pub threads: usize,
+    /// Alloc/free operations per thread.
+    pub ops: usize,
+    /// Live-object slots per thread (lifetime spread).
+    pub slots: usize,
+    /// Minimum object size.
+    pub min_size: usize,
+    /// Maximum object size (paper: 400).
+    pub max_size: usize,
+}
+
+impl Params {
+    /// Scaled configuration (paper: 10⁵ iterations).
+    pub fn scaled(threads: usize, scale: f64) -> Params {
+        Params {
+            threads,
+            ops: ((400_000.0 * scale) as usize).max(1_000),
+            slots: 2_000,
+            min_size: 64,
+            max_size: 400,
+        }
+    }
+}
+
+/// Skewed size draw: min of two uniforms biases toward small sizes, the
+/// distribution shbench documents ("smaller objects allocated more
+/// frequently").
+#[inline]
+fn skewed_size(rng: &mut impl Rng, min: usize, max: usize) -> usize {
+    let span = max - min + 1;
+    let a = rng.gen_range(0..span);
+    let b = rng.gen_range(0..span);
+    min + a.min(b)
+}
+
+/// Run shbench; returns elapsed wall-clock time.
+pub fn run(alloc: &DynAlloc, p: Params) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..p.threads {
+            let alloc = alloc.clone();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5B_00 + t as u64);
+                let mut slots: Vec<*mut u8> = vec![std::ptr::null_mut(); p.slots];
+                for _ in 0..p.ops {
+                    let i = rng.gen_range(0..p.slots);
+                    if !slots[i].is_null() {
+                        alloc.free(slots[i]);
+                    }
+                    let size = skewed_size(&mut rng, p.min_size, p.max_size);
+                    let ptr = alloc.malloc(size);
+                    assert!(!ptr.is_null(), "shbench: allocator exhausted");
+                    // SAFETY: fresh block of >= 8 bytes.
+                    unsafe { std::ptr::write(ptr as *mut u64, size as u64) };
+                    slots[i] = ptr;
+                }
+                for ptr in slots.into_iter().filter(|p| !p.is_null()) {
+                    alloc.free(ptr);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_allocator, AllocKind};
+    use nvm::FlushModel;
+
+    #[test]
+    fn runs_on_every_allocator() {
+        for kind in AllocKind::all() {
+            let a = make_allocator(kind, 64 << 20, FlushModel::free());
+            let p = Params { threads: 2, ops: 2_000, slots: 128, min_size: 64, max_size: 400 };
+            let d = run(&a, p);
+            assert!(d.as_nanos() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn size_skew_favours_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let small = (0..n)
+            .filter(|_| skewed_size(&mut rng, 64, 400) < 232)
+            .count();
+        assert!(small > n * 6 / 10, "small fraction {small}/{n}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Vacation (paper Fig. 5e): the STAMP travel-reservation OLTP system,
+//! in the lock-based form the paper took from the WHISPER suite.
+//!
+//! A manager holds four "relations" implemented as red-black trees (cars,
+//! flights, rooms, customers). Each transaction performs 5 queries that
+//! look up, reserve (insert/update), or cancel (remove) rows across the
+//! tables, targeting 90% of the key space. Every insert/remove
+//! allocates/frees a tree node, putting the allocator on the critical
+//! path. Only persistent allocators are compared (Fig. 5e).
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pds::RbTree;
+use rand::prelude::*;
+
+use crate::DynAlloc;
+
+/// Number of relations (tables), as in STAMP.
+pub const TABLES: usize = 4;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Client threads.
+    pub threads: usize,
+    /// Rows preloaded per table (paper: 16384 total "relations").
+    pub rows: usize,
+    /// Transactions per thread.
+    pub txns: usize,
+    /// Queries per transaction (paper: 5).
+    pub queries: usize,
+    /// Fraction of the key space touched (paper: 90%).
+    pub coverage: f64,
+}
+
+impl Params {
+    /// Scaled configuration (paper: 10⁶ transactions total).
+    pub fn scaled(threads: usize, scale: f64) -> Params {
+        Params {
+            threads,
+            rows: 4096,
+            txns: ((40_000.0 * scale) as usize / threads.max(1)).max(500),
+            queries: 5,
+            coverage: 0.9,
+        }
+    }
+}
+
+/// Run vacation; returns elapsed wall-clock time.
+pub fn run(alloc: &DynAlloc, p: Params) -> Duration {
+    // Build and preload the four relations.
+    let tables: Vec<Mutex<RbTree<DynAlloc>>> =
+        (0..TABLES).map(|_| Mutex::new(RbTree::new(alloc.clone()))).collect();
+    let mut rng = StdRng::seed_from_u64(0x0ACE);
+    for table in &tables {
+        let mut t = table.lock();
+        for row in 0..p.rows as u64 {
+            t.insert(row, rng.gen_range(100..500));
+        }
+    }
+    let span = ((p.rows as f64) * p.coverage) as u64;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..p.threads {
+            let tables = &tables;
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xACA7 + tid as u64);
+                for _ in 0..p.txns {
+                    for _ in 0..p.queries {
+                        let table = &tables[rng.gen_range(0..TABLES)];
+                        let key = rng.gen_range(0..span.max(1));
+                        let action = rng.gen_range(0..10);
+                        let mut t = table.lock();
+                        match action {
+                            // 10%: cancel a reservation (frees a node).
+                            0 => {
+                                t.remove(key);
+                            }
+                            // 20%: make a reservation (may allocate).
+                            1 | 2 => {
+                                let v = t.get(key).unwrap_or(0);
+                                t.insert(key, v + 1);
+                            }
+                            // 70%: availability query + price update.
+                            _ => {
+                                if let Some(v) = t.get(key) {
+                                    t.insert(key, v);
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{make_allocator, AllocKind};
+    use nvm::FlushModel;
+
+    fn tiny(threads: usize) -> Params {
+        Params { threads, rows: 256, txns: 200, queries: 5, coverage: 0.9 }
+    }
+
+    #[test]
+    fn runs_on_persistent_allocators() {
+        for kind in AllocKind::persistent() {
+            let a = make_allocator(kind, 64 << 20, FlushModel::free());
+            let d = run(&a, tiny(2));
+            assert!(d.as_nanos() > 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn trees_stay_consistent_under_churn() {
+        let a = make_allocator(AllocKind::Ralloc, 64 << 20, FlushModel::free());
+        run(&a, tiny(4));
+        // A second run on the same allocator reuses freed nodes.
+        run(&a, tiny(4));
+    }
+}

@@ -1,0 +1,126 @@
+//! Zipfian key distribution, as used by YCSB's request generator
+//! (Gray et al.'s rejection-free method, the same algorithm YCSB's
+//! `ZipfianGenerator` implements).
+
+/// Zipfian generator over `0..n` with skew `theta` (YCSB default 0.99).
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Create a generator for `n` items with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0);
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, Euler-Maclaurin approximation for large n
+        // (YCSB precomputes; we want constructor cost bounded).
+        if n <= 10_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from 10000 to n
+            let a = 1.0 - theta;
+            head + ((n as f64).powf(a) - 10_000f64.powf(a)) / a
+        }
+    }
+
+    /// Draw the next key given a uniform `u in [0,1)`.
+    pub fn sample(&self, u: f64) -> u64 {
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let k = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        k.min(self.n - 1)
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Second-order zeta (exposed for tests).
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(rng.gen());
+            assert!(k < 1000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_head() {
+        let z = Zipf::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            if z.sample(rng.gen()) < 1000 {
+                head += 1;
+            }
+        }
+        // With theta=.99 over 100k items, ~>50% of mass is in the top 1%.
+        assert!(
+            head > n / 3,
+            "zipf head mass too small: {head}/{n}"
+        );
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(1000, 0.01);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0;
+        for _ in 0..100_000 {
+            if z.sample(rng.gen()) < 100 {
+                head += 1;
+            }
+        }
+        // ~10% of draws should land in the first 10% of keys.
+        assert!((5_000..20_000).contains(&head), "head={head}");
+    }
+
+    #[test]
+    fn large_n_constructor_is_fast_and_sane() {
+        let z = Zipf::new(100_000_000, 0.99);
+        assert!(z.zeta2() > 1.0);
+        assert_eq!(z.sample(0.0), 0);
+    }
+}

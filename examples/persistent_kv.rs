@@ -1,0 +1,77 @@
+//! A memcached-style key-value store on a persistent allocator, driven
+//! by a small YCSB-A mix — the library-database scenario of paper §6.3,
+//! runnable against any of the five allocators:
+//!
+//! ```text
+//! cargo run --release --example persistent_kv -- [ralloc|lrmalloc|makalu|pmdk|system]
+//! ```
+
+use std::time::Instant;
+
+use nvm::FlushModel;
+use pds::KvStore;
+use workloads::zipf::Zipf;
+use workloads::{make_allocator, AllocKind};
+
+fn main() {
+    let kind = std::env::args()
+        .nth(1)
+        .and_then(|s| AllocKind::parse(&s))
+        .unwrap_or(AllocKind::Ralloc);
+    let alloc = make_allocator(kind, 256 << 20, FlushModel::optane());
+    println!("allocator: {}", kind.name());
+
+    let records = 50_000u64;
+    let kv = KvStore::new(alloc, (records as usize * 2).next_power_of_two());
+
+    // Load phase.
+    let t0 = Instant::now();
+    let value = [0x42u8; 100];
+    for k in 0..records {
+        kv.set(k, &value);
+    }
+    println!(
+        "loaded {records} records in {:?} ({:.0} Kops/s)",
+        t0.elapsed(),
+        records as f64 / t0.elapsed().as_secs_f64() / 1e3
+    );
+
+    // Run phase: YCSB-A (50% reads / 50% updates), zipfian keys, from
+    // four client threads.
+    let zipf = Zipf::new(records, 0.99);
+    let ops_per_thread = 25_000u64;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for tid in 0..4u64 {
+            let kv = &kv;
+            let zipf = &zipf;
+            s.spawn(move || {
+                let mut x = 0x243F6A88 + tid;
+                let mut rand = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                let mut buf = [0u8; 128];
+                for i in 0..ops_per_thread {
+                    let key = zipf.sample((rand() % 1_000_000) as f64 / 1e6);
+                    if rand() % 2 == 0 {
+                        let _ = kv.get_into(key, &mut buf);
+                    } else {
+                        // Size-cycling updates exercise item replacement.
+                        let sz = 96 + (i as usize % 3) * 8;
+                        kv.set(key, &buf[..sz]);
+                    }
+                }
+            });
+        }
+    });
+    let total = 4 * ops_per_thread;
+    println!(
+        "ran {total} YCSB-A ops in {:?} ({:.0} Kops/s)",
+        t0.elapsed(),
+        total as f64 / t0.elapsed().as_secs_f64() / 1e3
+    );
+    println!("{} keys resident at the end", kv.len());
+}

@@ -1,0 +1,148 @@
+//! Overlap freedom (paper Theorem 5.1) and leakage freedom (Theorem 5.2)
+//! under concurrency, for Ralloc and both persistent baselines.
+//!
+//! Every live block carries a full-block signature derived from its own
+//! address; any overlap between two live blocks, or a block handed out
+//! twice, corrupts a signature and fails the test. Property tests then
+//! replay random single-threaded alloc/free traces against an interval
+//! model.
+
+use nvm::FlushModel;
+use proptest::prelude::*;
+use ralloc::PersistentAllocator;
+use workloads::{make_allocator, AllocKind, DynAlloc};
+
+fn fill_signature(ptr: *mut u8, size: usize) {
+    for i in 0..size {
+        // SAFETY: ptr is a live block of `size` bytes owned by us.
+        unsafe { *ptr.add(i) = ((ptr as usize).wrapping_add(i) as u8) ^ 0x5A };
+    }
+}
+
+fn check_signature(ptr: *mut u8, size: usize) {
+    for i in 0..size {
+        // SAFETY: as above.
+        let got = unsafe { *ptr.add(i) };
+        let want = ((ptr as usize).wrapping_add(i) as u8) ^ 0x5A;
+        assert_eq!(got, want, "signature torn at {ptr:p}+{i}: block overlap or double-issue");
+    }
+}
+
+fn stress(alloc: &DynAlloc, threads: usize, per_thread_ops: usize) {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let alloc = alloc.clone();
+            s.spawn(move || {
+                let mut held: Vec<(usize, usize)> = Vec::new();
+                let mut x = 0x9E3779B9u64.wrapping_mul(t as u64 + 1) | 1;
+                let mut rand = move || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                for _ in 0..per_thread_ops {
+                    if held.len() > 400 || (!held.is_empty() && rand() % 3 == 0) {
+                        let i = (rand() as usize) % held.len();
+                        let (p, sz) = held.swap_remove(i);
+                        check_signature(p as *mut u8, sz);
+                        alloc.free(p as *mut u8);
+                    } else {
+                        let sz = 8 + (rand() as usize % 50) * 8;
+                        let p = alloc.malloc(sz);
+                        assert!(!p.is_null());
+                        fill_signature(p, sz);
+                        held.push((p as usize, sz));
+                    }
+                }
+                for (p, sz) in held {
+                    check_signature(p as *mut u8, sz);
+                    alloc.free(p as *mut u8);
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn ralloc_concurrent_signatures_hold() {
+    let a = make_allocator(AllocKind::Ralloc, 128 << 20, FlushModel::free());
+    stress(&a, 8, 20_000);
+}
+
+#[test]
+fn makalu_concurrent_signatures_hold() {
+    let a = make_allocator(AllocKind::Makalu, 128 << 20, FlushModel::free());
+    stress(&a, 4, 8_000);
+}
+
+#[test]
+fn pmdk_concurrent_signatures_hold() {
+    let a = make_allocator(AllocKind::Pmdk, 128 << 20, FlushModel::free());
+    stress(&a, 4, 4_000);
+}
+
+#[test]
+fn ralloc_leakage_freedom_under_churn() {
+    // The heap footprint must reach a fixed point when the live set is
+    // bounded (Theorem 5.2: freed blocks become available for reuse).
+    let heap = ralloc::Ralloc::create(64 << 20, ralloc::RallocConfig::default());
+    let a: DynAlloc = std::sync::Arc::new(heap.clone());
+    // Warm up: grows the heap to its steady footprint (live set + one
+    // superblock of thread-cache retention per class per thread).
+    for _ in 0..2 {
+        stress(&a, 4, 10_000);
+    }
+    let used_after_warmup = heap.used_superblocks();
+    for _ in 0..5 {
+        stress(&a, 4, 10_000);
+    }
+    assert!(
+        heap.used_superblocks() <= used_after_warmup + 8,
+        "heap keeps growing under bounded live set: {} -> {}",
+        used_after_warmup,
+        heap.used_superblocks()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free traces against an interval model: no two live
+    /// blocks may ever intersect, across all size classes and the large
+    /// path.
+    #[test]
+    fn random_trace_disjoint_intervals(ops in proptest::collection::vec((0u8..2, 0usize..20_000), 1..200)) {
+        let a = make_allocator(AllocKind::Ralloc, 64 << 20, FlushModel::free());
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for (op, arg) in ops {
+            if op == 0 || live.is_empty() {
+                let size = arg.max(1); // up to ~20 KB: spans small + large
+                let p = a.malloc(size) as usize;
+                prop_assert!(p != 0);
+                for &(q, qsize) in &live {
+                    let disjoint = p + size <= q || q + qsize <= p;
+                    prop_assert!(disjoint, "overlap: [{p:#x},+{size}) vs [{q:#x},+{qsize})");
+                }
+                live.push((p, size));
+            } else {
+                let i = arg % live.len();
+                let (p, _) = live.swap_remove(i);
+                a.free(p as *mut u8);
+            }
+        }
+        for (p, _) in live {
+            a.free(p as *mut u8);
+        }
+    }
+
+    /// usable_size is monotone and at least the requested size.
+    #[test]
+    fn usable_size_covers_request(size in 0usize..100_000) {
+        let heap = ralloc::Ralloc::create(32 << 20, ralloc::RallocConfig::default());
+        let p = heap.malloc(size);
+        prop_assert!(!p.is_null());
+        prop_assert!(heap.usable_size(p) >= size.max(0));
+        heap.free(p);
+    }
+}
