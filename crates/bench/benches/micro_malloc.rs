@@ -1,14 +1,24 @@
 //! Microbenchmark: the malloc/free fast path per allocator, plus the
 //! flushes-per-operation count that substantiates the paper's "pays
 //! almost nothing for persistence" claim (§1, §6.2).
+//!
+//! Besides the criterion groups, this target emits a machine-readable
+//! `BENCH_fastpath.json` at the workspace root: malloc/free pair
+//! throughput (Mops/s) for 1 and 4 threads, persistent vs. transient
+//! configuration. Future PRs compare against it to track the fast-path
+//! trajectory. Set `MICRO_MALLOC_JSON_ONLY=1` to skip the criterion
+//! groups and only refresh the JSON.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use bench::BENCH_CAPACITY;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use nvm::FlushModel;
 use ralloc::PersistentAllocator;
-use workloads::{make_allocator, AllocKind};
+use workloads::{make_allocator, AllocKind, DynAlloc};
 
 fn micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro_malloc_free");
@@ -36,4 +46,88 @@ fn micro(c: &mut Criterion) {
 }
 
 criterion_group!(benches, micro);
-criterion_main!(benches);
+
+/// Measure malloc/free pair throughput in Mops/s: `threads` workers each
+/// running 64 B pairs against a shared allocator for `window`.
+fn pair_throughput(alloc: &DynAlloc, threads: usize, window: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let alloc = alloc.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    // Warm this thread's cache off the clock.
+                    let w = alloc.malloc(64);
+                    alloc.free(w);
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Batch between stop-flag checks.
+                        for _ in 0..512 {
+                            let p = alloc.malloc(64);
+                            std::hint::black_box(p);
+                            alloc.free(p);
+                        }
+                        ops += 512;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("bench worker")).sum()
+    });
+    total as f64 / window.as_secs_f64() / 1e6
+}
+
+fn emit_fastpath_json() {
+    let window = Duration::from_millis(
+        std::env::var("MICRO_MALLOC_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(400),
+    );
+    let configs = [("ralloc", AllocKind::Ralloc), ("lrmalloc", AllocKind::LrMalloc)];
+    let mut entries = Vec::new();
+    for (name, kind) in configs {
+        for threads in [1usize, 4] {
+            // Fresh heap per point so carve state does not bleed across.
+            let a = make_allocator(kind, BENCH_CAPACITY, FlushModel::optane());
+            // One throwaway round to reach steady state.
+            let _ = pair_throughput(&a, threads, window / 4);
+            let mops = pair_throughput(&a, threads, window);
+            println!("fastpath {name} x{threads}: {mops:.2} Mops/s");
+            entries.push(format!(
+                "    {{\"alloc\": \"{name}\", \"threads\": {threads}, \"mops\": {mops:.3}}}"
+            ));
+        }
+    }
+    // Seed baseline, measured in the PR that introduced the batched
+    // fast path (same machine discipline: fresh heap, warmup round,
+    // 400 ms window). Kept in the JSON so the trajectory is one file.
+    let baseline = concat!(
+        "    {\"alloc\": \"ralloc\", \"threads\": 1, \"mops\": 65.121},\n",
+        "    {\"alloc\": \"ralloc\", \"threads\": 4, \"mops\": 64.140},\n",
+        "    {\"alloc\": \"lrmalloc\", \"threads\": 1, \"mops\": 65.915},\n",
+        "    {\"alloc\": \"lrmalloc\", \"threads\": 4, \"mops\": 66.387}"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"micro_malloc_fastpath\",\n  \"unit\": \"Mops/s malloc+free pairs, 64 B\",\n  \"results\": [\n{}\n  ],\n  \"baseline_pre_batched_bins\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+        baseline
+    );
+    // `CARGO_MANIFEST_DIR` is crates/bench; the JSON lives at the root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_fastpath.json");
+    std::fs::write(&path, json).expect("write BENCH_fastpath.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    if std::env::var("MICRO_MALLOC_JSON_ONLY").is_err() {
+        benches();
+    }
+    emit_fastpath_json();
+}

@@ -202,7 +202,7 @@ impl<'h> Tracer<'h> {
                 let bsize = class_block_size(class) as usize;
                 let inner = off - self.geo.sb(sb);
                 // Pointers to block interiors are not supported (§4.5).
-                if inner % bsize != 0 {
+                if !inner.is_multiple_of(bsize) {
                     return None;
                 }
                 let blk = (inner / bsize) as u32;

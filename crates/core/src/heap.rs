@@ -33,10 +33,10 @@ use crate::layout::{
 };
 use crate::lists::DescList;
 use crate::size_class::{
-    class_block_size, class_max_count, is_small_class, size_class_of, CLASS_CONTINUATION,
-    SB_SIZE,
+    cache_capacity, class_block_size, class_max_count, is_small_class, size_class_of,
+    CLASS_CONTINUATION, NUM_CLASSES, SB_SIZE,
 };
-use crate::tcache::{self, HeapTls};
+use crate::tcache::{self, CacheBin, HeapTls};
 
 static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -80,16 +80,54 @@ impl RallocConfig {
 }
 
 /// Slow-path event counters (diagnostics; the fast path counts nothing).
+///
+/// The fill/flush pairs make the batching observable: `cache_fills` /
+/// `cache_fill_blocks` say how many refills ran and how many blocks they
+/// moved in bulk; `fill_anchor_cas` says how many anchor CASes that cost
+/// (one per superblock reserved, *not* one per block). Symmetrically for
+/// flushes. [`SlowStats::avg_fill_batch`] and
+/// [`SlowStats::avg_flush_batch`] report the amortization factor.
 #[derive(Debug, Default)]
 pub struct SlowStats {
     /// Thread-cache refills from a partial or fresh superblock.
     pub cache_fills: AtomicU64,
-    /// Whole-cache spills back to superblocks.
+    /// Blocks moved into bins by those refills.
+    pub cache_fill_blocks: AtomicU64,
+    /// Whole-bin flushes back to superblocks.
     pub cache_flushes: AtomicU64,
+    /// Blocks returned by those flushes.
+    pub cache_flushes_blocks: AtomicU64,
+    /// Successful anchor CASes performed by fills (batch reservations).
+    pub fill_anchor_cas: AtomicU64,
+    /// Successful anchor CASes performed by flushes (batch returns).
+    pub flush_anchor_cas: AtomicU64,
     /// Superblocks carved by expanding `used`.
     pub sb_carved: AtomicU64,
+    /// Fully-empty superblocks reclaimed from partial lists instead of
+    /// carving fresh space.
+    pub sb_scavenged: AtomicU64,
     /// Large allocations served.
     pub large_allocs: AtomicU64,
+}
+
+impl SlowStats {
+    /// Average blocks obtained per cache fill (0.0 before the first fill).
+    pub fn avg_fill_batch(&self) -> f64 {
+        let fills = self.cache_fills.load(Ordering::Relaxed);
+        if fills == 0 {
+            return 0.0;
+        }
+        self.cache_fill_blocks.load(Ordering::Relaxed) as f64 / fills as f64
+    }
+
+    /// Average blocks returned per cache flush (0.0 before the first).
+    pub fn avg_flush_batch(&self) -> f64 {
+        let flushes = self.cache_flushes.load(Ordering::Relaxed);
+        if flushes == 0 {
+            return 0.0;
+        }
+        self.cache_flushes_blocks.load(Ordering::Relaxed) as f64 / flushes as f64
+    }
 }
 
 /// Shared heap state. Public API lives on [`Ralloc`].
@@ -180,11 +218,18 @@ impl HeapInner {
         }
     }
 
-    /// Refill a thread cache for `class` (paper §4.4): first from a
-    /// partial superblock, else from a free/fresh superblock whose entire
-    /// block population goes to the cache.
-    pub(crate) fn fill_cache(&self, class: u32, cache: &mut Vec<usize>) -> bool {
+    /// Refill a cache bin for `class` (paper §4.4, LRMalloc's Fill):
+    /// first from a partial superblock, else from a free/fresh superblock
+    /// whose entire block population goes to the bin. Either way the
+    /// whole batch is reserved with at most **one** anchor CAS — a
+    /// partial superblock's entire free chain is claimed by a single
+    /// Partial→Full transition, and a fresh superblock is owned outright
+    /// (plain anchor store) — so the slow path's synchronization is
+    /// amortized over every block of the batch.
+    pub(crate) fn fill_bin(&self, class: u32, bin: &mut CacheBin) -> bool {
         debug_assert!(is_small_class(class));
+        debug_assert_eq!(bin.len(), 0, "fill into a non-empty bin");
+        bin.ensure_capacity(cache_capacity(class) as usize);
         let partial = DescList::partial_list(&self.geo, class);
         let free = DescList::free_list(&self.geo);
         let bsize = class_block_size(class) as usize;
@@ -203,8 +248,8 @@ impl HeapInner {
                         break;
                     }
                     debug_assert_eq!(a.state, SbState::Partial);
-                    // Reserve every free block: count=0, avail parked at
-                    // max_count, state FULL.
+                    // Reserve every free block with one CAS: count=0,
+                    // avail parked at max_count, state FULL.
                     match d.cas_anchor(a, Anchor::full(mc)) {
                         Ok(()) => break,
                         Err(cur) => a = cur,
@@ -213,13 +258,21 @@ impl HeapInner {
                 if retired {
                     continue;
                 }
-                // We own the a.count-block chain headed at a.avail.
+                self.slow.fill_anchor_cas.fetch_add(1, Ordering::Relaxed);
+                // We own the a.count-block chain headed at a.avail; carve
+                // it into the bin locally, no further synchronization.
+                // The walk is clamped to the bin's capacity: `a.count`
+                // can only exceed it if a user double-free inflated the
+                // anchor, and the containment then must be a bounded leak,
+                // never a write past the bin's slot array.
+                let take = a.count.min(mc);
+                debug_assert_eq!(take, a.count, "anchor count exceeds superblock population");
                 let sb_addr = self.addr_of(self.geo.sb(idx as usize));
                 let mut blk = a.avail;
-                for _ in 0..a.count {
+                for _ in 0..take {
                     debug_assert!(blk < mc);
                     let addr = sb_addr + blk as usize * bsize;
-                    cache.push(addr);
+                    bin.push(addr);
                     // Free-block link: the block's first word holds the
                     // next free block's index (bounded walk: the final
                     // link word is never dereferenced).
@@ -227,10 +280,12 @@ impl HeapInner {
                     blk = unsafe { (*(addr as *const AtomicU64)).load(Ordering::Relaxed) } as u32;
                 }
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+                self.slow.cache_fill_blocks.fetch_add(take as u64, Ordering::Relaxed);
                 return true;
             }
-            // No partial superblock: take a free one or carve fresh space.
-            let idx = match free.pop(&self.pool, &self.geo) {
+            // No partial superblock: take a free one, scavenge an empty
+            // one stranded on another class's partial list, or carve.
+            let idx = match free.pop(&self.pool, &self.geo).or_else(|| self.scavenge()) {
                 Some(i) => i,
                 None => match self.carve(1) {
                     Some(i) => i,
@@ -249,38 +304,101 @@ impl HeapInner {
             d.set_anchor(Anchor::full(mc), Ordering::Release);
             let sb_addr = self.addr_of(self.geo.sb(idx as usize));
             for i in (0..mc).rev() {
-                cache.push(sb_addr + i as usize * bsize);
+                bin.push(sb_addr + i as usize * bsize);
             }
             self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+            self.slow.cache_fill_blocks.fetch_add(mc as u64, Ordering::Relaxed);
             return true;
         }
     }
 
-    /// Return one block to its superblock's internal free list, handling
-    /// the FULL→PARTIAL and →EMPTY transitions (paper §4.4).
-    pub(crate) fn push_block(&self, addr: usize) {
-        let off = addr - self.pool.base() as usize;
-        let sb = self.geo.sb_index_of(off).expect("push_block: foreign address");
+    /// Reclaim one fully-empty superblock parked on some class's partial
+    /// list. Lazy retirement (paper §4.4) leaves PARTIAL→EMPTY
+    /// superblocks enlisted until their own class pops them again; under
+    /// shifting class mix that reservoir can strand megabytes while other
+    /// classes carve fresh space. This runs only when the free list is
+    /// exhausted, scans each class's partial list a bounded number of
+    /// pops, re-enlists everything still partial, and hands one empty
+    /// superblock to the caller (who re-types it with `set_size`, exactly
+    /// like a free-list pop — the same ownership rules apply: a popped
+    /// descriptor is off-list and EMPTY means no live blocks can be
+    /// concurrently freed into it).
+    ///
+    /// While a scan holds popped descriptors they are invisible to
+    /// concurrent fills of their class, which may carve instead; the
+    /// small per-class bound keeps that window to a few descriptors for
+    /// a few instructions, trading at worst one transient extra carve
+    /// for the (permanent) carve that skipping scavenging would cost.
+    fn scavenge(&self) -> Option<u32> {
+        const POPS_PER_CLASS: usize = 4;
+        for class in 1..NUM_CLASSES as u32 {
+            let list = DescList::partial_list(&self.geo, class);
+            let mut repush: [u32; POPS_PER_CLASS] = [0; POPS_PER_CLASS];
+            let mut repush_n = 0;
+            let mut found = None;
+            while repush_n < POPS_PER_CLASS {
+                let Some(idx) = list.pop(&self.pool, &self.geo) else { break };
+                let d = Desc::new(&self.pool, &self.geo, idx);
+                if d.anchor(Ordering::Acquire).state == SbState::Empty {
+                    found = Some(idx);
+                    break;
+                }
+                repush[repush_n] = idx;
+                repush_n += 1;
+            }
+            for &idx in &repush[..repush_n] {
+                list.push(&self.pool, &self.geo, idx);
+            }
+            if found.is_some() {
+                self.slow.sb_scavenged.fetch_add(1, Ordering::Relaxed);
+                return found;
+            }
+        }
+        None
+    }
+
+    /// Return a batch of same-superblock blocks to that superblock's
+    /// internal free list with a **single** anchor CAS, handling the
+    /// FULL→PARTIAL and →EMPTY transitions (paper §4.4). The batch is
+    /// pre-linked into a local chain (we own every block until the CAS
+    /// publishes it), then spliced ahead of the current free-list head.
+    fn push_batch(&self, sb: usize, blocks: &[usize]) {
+        debug_assert!(!blocks.is_empty());
         let d = Desc::new(&self.pool, &self.geo, sb as u32);
         let mc = d.max_count();
         let bsize = d.block_size() as usize;
-        let blk = ((off - self.geo.sb(sb)) / bsize) as u32;
-        debug_assert!(blk < mc);
+        let sb_addr = self.addr_of(self.geo.sb(sb));
+        let block_idx = |addr: usize| {
+            debug_assert_eq!((addr - sb_addr) % bsize, 0, "misaligned block in batch");
+            let blk = ((addr - sb_addr) / bsize) as u32;
+            debug_assert!(blk < mc);
+            blk
+        };
+        // Pre-link the interior of the chain: block i's first word points
+        // at block i+1's index.
+        // SAFETY: we own every freed block until the CAS publishes them.
+        for w in blocks.windows(2) {
+            unsafe { (*(w[0] as *const AtomicU64)).store(block_idx(w[1]) as u64, Ordering::Relaxed) };
+        }
+        let head = block_idx(blocks[0]);
+        let tail = blocks[blocks.len() - 1];
+        let n = blocks.len() as u32;
         loop {
             let a = d.anchor(Ordering::Acquire);
-            // Link this block ahead of the current head. `a.avail` may be
+            // Link the chain's tail to the current head. `a.avail` may be
             // the max_count sentinel; walks are bounded by count, so the
             // stale link is never followed.
-            // SAFETY: we own this freed block until the CAS publishes it.
-            unsafe { (*(addr as *const AtomicU64)).store(a.avail as u64, Ordering::Release) };
-            let count = a.count + 1;
+            // SAFETY: the tail block is still ours until the CAS.
+            unsafe { (*(tail as *const AtomicU64)).store(a.avail as u64, Ordering::Release) };
+            let count = a.count + n;
             debug_assert!(count <= mc);
             let new = Anchor {
-                avail: blk,
+                avail: head,
                 count,
                 state: if count == mc { SbState::Empty } else { SbState::Partial },
             };
             if d.cas_anchor(a, new).is_ok() {
+                self.slow.flush_anchor_cas.fetch_add(1, Ordering::Relaxed);
                 if a.state == SbState::Full {
                     // FULL superblocks are on no list; the thread that
                     // makes the transition enlists the descriptor.
@@ -301,22 +419,60 @@ impl HeapInner {
         }
     }
 
-    /// Spill an entire thread cache back to the heap (paper §4.4: "all of
-    /// the blocks in the cache are pushed back"; contrast with Makalu's
-    /// return-half policy, §6.3).
-    pub(crate) fn spill_cache(&self, cache: &mut Vec<usize>) {
-        self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
-        while let Some(addr) = cache.pop() {
-            self.push_block(addr);
+    /// Return an arbitrary batch of blocks, grouping them by superblock
+    /// so each touched superblock costs exactly one anchor CAS (LRMalloc's
+    /// Flush). Reorders `blocks` in place while partitioning.
+    pub(crate) fn flush_blocks(&self, blocks: &mut [usize]) {
+        let base = self.pool.base() as usize;
+        let mut i = 0;
+        while i < blocks.len() {
+            let sb = self
+                .geo
+                .sb_index_of(blocks[i] - base)
+                .expect("flush_blocks: foreign address");
+            // Partition: move every block of this superblock into
+            // blocks[i..end]. Bins overwhelmingly hold blocks of one or
+            // two superblocks, so this scan rarely runs more than twice.
+            let mut end = i + 1;
+            for j in i + 1..blocks.len() {
+                if self.geo.sb_index_of(blocks[j] - base) == Some(sb) {
+                    blocks.swap(end, j);
+                    end += 1;
+                }
+            }
+            self.push_batch(sb, &blocks[i..end]);
+            i = end;
         }
     }
 
-    /// Drain every class cache of a TLS entry (thread exit, close).
+    /// Flush an entire cache bin back to the heap (paper §4.4: "all of
+    /// the blocks in the cache are pushed back"; contrast with Makalu's
+    /// return-half policy, §6.3).
+    pub(crate) fn flush_bin(&self, bin: &mut CacheBin) {
+        let n = bin.len() as u64;
+        if n == 0 {
+            return;
+        }
+        self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
+        self.slow.cache_flushes_blocks.fetch_add(n, Ordering::Relaxed);
+        self.flush_blocks(bin.blocks_mut());
+        bin.clear();
+    }
+
+    /// Free-path overflow: size a never-used bin, or flush a full one.
+    #[cold]
+    pub(crate) fn free_overflow(&self, class: u32, bin: &mut CacheBin) {
+        if bin.capacity() == 0 {
+            bin.ensure_capacity(cache_capacity(class) as usize);
+        } else {
+            self.flush_bin(bin);
+        }
+    }
+
+    /// Drain every class bin of a TLS entry (thread exit, close).
     pub(crate) fn drain_tls(&self, entry: &mut HeapTls) {
-        for cache in entry.caches.iter_mut() {
-            while let Some(addr) = cache.pop() {
-                self.push_block(addr);
-            }
+        for bin in entry.bins.iter_mut() {
+            self.flush_bin(bin);
         }
     }
 
@@ -328,7 +484,9 @@ impl HeapInner {
         // for long-running processes with bounded pools.
         let idx = match self.carve(span) {
             Some(i) => Some(i),
-            None if span == 1 => DescList::free_list(&self.geo).pop(&self.pool, &self.geo),
+            None if span == 1 => DescList::free_list(&self.geo)
+                .pop(&self.pool, &self.geo)
+                .or_else(|| self.scavenge()),
             None => None,
         };
         let Some(idx) = idx else {
@@ -478,18 +636,18 @@ impl Ralloc {
     // ------------------------------------------------------- allocation
 
     /// Allocate `size` bytes; null on exhaustion (the paper's `malloc`).
-    /// Lock-free; the fast path touches only the thread-local cache.
+    /// Lock-free; the fast path is a fast-slot read and a bin pop.
     pub fn malloc(&self, size: usize) -> *mut u8 {
         let inner = &*self.inner;
         debug_assert!(!inner.is_closed(), "malloc on closed heap");
         match size_class_of(size) {
             Some(class) => tcache::with_heap_tls(inner, || Arc::downgrade(&self.inner), |tls| {
-                let cache = &mut tls.caches[class as usize];
-                if let Some(addr) = cache.pop() {
+                let bin = &mut tls.bins[class as usize];
+                if let Some(addr) = bin.pop() {
                     return addr as *mut u8;
                 }
-                if inner.fill_cache(class, cache) {
-                    cache.pop().expect("fill_cache returned empty") as *mut u8
+                if inner.fill_bin(class, bin) {
+                    bin.pop().expect("fill_bin returned empty") as *mut u8
                 } else {
                     std::ptr::null_mut()
                 }
@@ -523,16 +681,16 @@ impl Ralloc {
             "free: misaligned block pointer"
         );
         tcache::with_heap_tls(inner, || Arc::downgrade(&self.inner), |tls| {
-            let cache = &mut tls.caches[class as usize];
-            cache.push(ptr as usize);
-            // Spill when the cache exceeds one superblock's population.
-            // Strictly-greater matters: a freshly refilled cache holds
-            // exactly max_count blocks, and `>=` would make a tight
-            // malloc/free pair oscillate between a full spill and a full
-            // refill on every operation.
-            if cache.len() > class_max_count(class) as usize {
-                inner.spill_cache(cache);
+            let bin = &mut tls.bins[class as usize];
+            // Flush *before* pushing when the bin is at capacity, so the
+            // just-freed block stays cached. A freshly refilled bin holds
+            // max_count blocks and a malloc leaves it one short, so a
+            // tight malloc/free pair oscillates inside the bin instead of
+            // alternating a full flush with a full refill.
+            if bin.is_full() {
+                inner.free_overflow(class, bin);
             }
+            bin.push(ptr as usize);
         })
     }
 
@@ -728,5 +886,175 @@ impl std::fmt::Debug for Ralloc {
             .field("max_sb", &self.inner.geo.max_sb)
             .field("transient", &self.inner.transient)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    //! The Fill/Flush amortization contract: a fill of N blocks costs at
+    //! most one anchor CAS and one size-identity flush, and a flush of N
+    //! same-superblock blocks costs exactly one anchor CAS and no
+    //! flushes, regardless of N.
+
+    use super::*;
+
+    fn stats_of(heap: &Ralloc) -> (u64, u64, u64, u64, u64, u64) {
+        let s = heap.slow_stats();
+        (
+            s.cache_fills.load(Ordering::Relaxed),
+            s.cache_fill_blocks.load(Ordering::Relaxed),
+            s.cache_flushes.load(Ordering::Relaxed),
+            s.cache_flushes_blocks.load(Ordering::Relaxed),
+            s.fill_anchor_cas.load(Ordering::Relaxed),
+            s.flush_anchor_cas.load(Ordering::Relaxed),
+        )
+    }
+
+    #[test]
+    fn fresh_fill_batches_whole_superblock_no_cas_one_flush() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as u64; // 64 B class: 1024 blocks
+        let fences0 = heap.pool().stats().snapshot().fences;
+        let p = heap.malloc(64); // one fill: a whole fresh superblock
+        assert!(!p.is_null());
+        let (fills, fill_blocks, _, _, fill_cas, _) = stats_of(&heap);
+        assert_eq!(fills, 1, "one malloc, one fill");
+        assert_eq!(fill_blocks, mc, "the fill moved the whole superblock");
+        assert_eq!(fill_cas, 0, "a fresh superblock is owned outright: no anchor CAS");
+        // Exactly two fences: the `used` expansion and the size identity,
+        // amortized over all `mc` blocks of the batch.
+        let fences = heap.pool().stats().snapshot().fences - fences0;
+        assert_eq!(fences, 2, "fill of {mc} blocks must flush once (+ once for carve)");
+        assert_eq!(heap.slow_stats().avg_fill_batch(), mc as f64);
+        heap.free(p);
+    }
+
+    #[test]
+    fn partial_fill_batches_with_exactly_one_cas_zero_flushes() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        // Drain one whole superblock through the bin, keeping ownership.
+        let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
+        assert!(ptrs.iter().all(|&p| p != 0));
+        // Hand 10 blocks back as one batch: the superblock turns PARTIAL.
+        let mut batch: Vec<usize> = ptrs[..10].to_vec();
+        heap.inner.flush_blocks(&mut batch);
+        let (_, _, _, _, fill_cas0, flush_cas0) = stats_of(&heap);
+        assert_eq!(flush_cas0, 1, "one batch, one superblock, one CAS");
+        let fences0 = heap.pool().stats().snapshot().fences;
+        // Bin is empty (we popped exactly mc), so this malloc refills from
+        // the partial superblock: the 10-block chain, one CAS, no flush.
+        let q = heap.malloc(64);
+        assert!(!q.is_null());
+        let (fills, fill_blocks, _, _, fill_cas, _) = stats_of(&heap);
+        assert_eq!(fills, 2);
+        assert_eq!(fill_blocks as usize, mc + 10, "second fill took the 10-block chain");
+        assert_eq!(fill_cas - fill_cas0, 1, "a fill of N blocks performs exactly one anchor CAS");
+        assert_eq!(
+            heap.pool().stats().snapshot().fences,
+            fences0,
+            "a partial fill performs zero flushes"
+        );
+        heap.free(q);
+        for &p in &ptrs[10..] {
+            heap.free(p as *mut u8);
+        }
+    }
+
+    #[test]
+    fn bin_overflow_flushes_whole_bin_one_cas_per_superblock() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        let cap = cache_capacity(8) as usize;
+        let ptrs: Vec<usize> = (0..2 * mc).map(|_| heap.malloc(64) as usize).collect();
+        assert!(ptrs.iter().all(|&p| p != 0));
+        // Free the first superblock's population plus one: the bin fills
+        // to capacity and the overflowing free flushes it in one batch.
+        for &p in &ptrs[..cap + 1] {
+            heap.free(p as *mut u8);
+        }
+        let s = heap.slow_stats();
+        assert_eq!(s.cache_flushes.load(Ordering::Relaxed), 1);
+        assert_eq!(s.cache_flushes_blocks.load(Ordering::Relaxed), cap as u64);
+        assert_eq!(
+            s.flush_anchor_cas.load(Ordering::Relaxed),
+            1,
+            "flushing {cap} same-superblock blocks must cost exactly one anchor CAS"
+        );
+        assert_eq!(s.avg_flush_batch(), cap as f64);
+        for &p in &ptrs[cap + 1..] {
+            heap.free(p as *mut u8);
+        }
+    }
+
+    #[test]
+    fn mixed_superblock_flush_one_cas_per_group() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        // Two superblocks' worth so the bin can hold a mixture.
+        let ptrs: Vec<usize> = (0..mc + 4).map(|_| heap.malloc(64) as usize).collect();
+        // Interleave blocks of superblock A (first mc) and B (last 4).
+        let mut batch =
+            vec![ptrs[0], ptrs[mc], ptrs[1], ptrs[mc + 1], ptrs[2], ptrs[mc + 2], ptrs[3]];
+        heap.inner.flush_blocks(&mut batch);
+        let s = heap.slow_stats();
+        assert_eq!(
+            s.flush_anchor_cas.load(Ordering::Relaxed),
+            2,
+            "two superblocks in the batch: exactly two anchor CASes"
+        );
+        for &p in &ptrs[4..mc] {
+            heap.free(p as *mut u8);
+        }
+        heap.free(ptrs[mc + 3] as *mut u8);
+    }
+
+    #[test]
+    fn scavenge_reuses_empty_superblock_stranded_on_partial_list() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
+        // Park the superblock EMPTY on the 64 B class's partial list:
+        // first batch makes it FULL->PARTIAL (enlists), second makes it
+        // PARTIAL->EMPTY (lazy retirement leaves it enlisted).
+        let mut first: Vec<usize> = ptrs[..mc - 1].to_vec();
+        heap.inner.flush_blocks(&mut first);
+        let mut second = vec![ptrs[mc - 1]];
+        heap.inner.flush_blocks(&mut second);
+        assert_eq!(heap.used_superblocks(), 1);
+        // A different class now needs a superblock: the free list is
+        // empty, so without scavenging this would carve fresh space.
+        let q = heap.malloc(128);
+        assert!(!q.is_null());
+        assert_eq!(
+            heap.used_superblocks(),
+            1,
+            "empty superblock on a partial list must be reused, not bypassed"
+        );
+        assert_eq!(heap.slow_stats().sb_scavenged.load(Ordering::Relaxed), 1);
+        heap.free(q);
+    }
+
+    #[test]
+    fn batched_return_transitions_full_to_empty_and_retires() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
+        let off = ptrs[0] - heap.pool().base() as usize;
+        let sb = heap.geometry().sb_index_of(off).unwrap();
+        // Return the whole population as one batch: FULL -> EMPTY with a
+        // single CAS, and the superblock lands on the free list.
+        let mut batch = ptrs.clone();
+        heap.inner.flush_blocks(&mut batch);
+        let d = Desc::new(heap.pool(), &heap.geometry(), sb as u32);
+        let a = d.anchor(Ordering::Acquire);
+        assert_eq!(a.state, SbState::Empty);
+        assert_eq!(a.count as usize, mc);
+        assert_eq!(heap.slow_stats().flush_anchor_cas.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            DescList::free_list(&heap.geometry()).collect(heap.pool(), &heap.geometry()),
+            vec![sb as u32],
+            "fully-freed FULL superblock must retire to the free list"
+        );
     }
 }

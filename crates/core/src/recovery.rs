@@ -242,6 +242,7 @@ fn recount(marks: &mut MarkSet) {
 /// Rebuild descriptors `lo..hi`: per-superblock free chains, anchors, and
 /// list membership (steps 6-9 for a slice of the heap). Safe to run
 /// concurrently over disjoint ranges — the global lists are lock-free.
+#[allow(clippy::needless_range_loop)] // `i` is a superblock index, not just a slice cursor
 fn sweep_range(
     inner: &HeapInner,
     marks: &MarkSet,

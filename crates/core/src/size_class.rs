@@ -92,6 +92,16 @@ pub fn is_small_class(class: u32) -> bool {
     (1..NUM_CLASSES as u32).contains(&class)
 }
 
+/// Thread-cache bin capacity for a small class, in blocks: exactly one
+/// superblock's population, LRMalloc's CacheBin sizing. A fill that takes
+/// every block of a superblock always fits, a full bin flushed back can
+/// empty a superblock, and a tight malloc/free pair oscillates inside the
+/// bin without ever touching a superblock anchor.
+#[inline]
+pub fn cache_capacity(class: u32) -> u32 {
+    class_max_count(class)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +170,15 @@ mod tests {
             let mc = class_max_count(c);
             assert!(mc >= 4, "class {c} has only {mc} blocks");
             assert!(mc as usize * class_block_size(c) as usize <= SB_SIZE);
+        }
+    }
+
+    #[test]
+    fn cache_capacity_holds_one_superblock() {
+        for c in 1..NUM_CLASSES as u32 {
+            assert_eq!(cache_capacity(c), class_max_count(c));
+            // A bin never exceeds one superblock's worth of memory.
+            assert!(cache_capacity(c) as usize * class_block_size(c) as usize <= SB_SIZE);
         }
     }
 

@@ -1,52 +1,161 @@
-//! Thread-local block caches (paper §4.2, §4.4).
+//! Thread-local cache bins (paper §4.2, §4.4; LRMalloc's CacheBin).
 //!
-//! Most allocations and deallocations are served by per-thread caches of
-//! free blocks, one per size class, with no synchronization at all — the
-//! LRMalloc fast path that Ralloc inherits. The caches are **transient**:
-//! nothing about them is flushed, and after a crash their contents are
-//! recovered by the tracing GC (blocks in a cache are unreachable from
-//! the roots, so they are reclaimed). On clean thread exit, the cache is
-//! drained back to the heap so a clean shutdown leaves nothing cached.
+//! Most allocations and deallocations are served by per-thread,
+//! per-size-class **cache bins** of free blocks with no synchronization
+//! at all — the LRMalloc fast path that Ralloc inherits. A bin is a
+//! fixed-capacity array of block addresses plus a length; its capacity is
+//! one superblock's block population for the class
+//! ([`crate::size_class::cache_capacity`]), so the bin's lifecycle follows
+//! LRMalloc's Fill/Flush discipline:
 //!
-//! Because a process may hold several heaps, the TLS slot stores a small
-//! vector of per-heap cache sets keyed by heap id. Each cache set is
-//! stamped with the heap's *generation*, which is bumped by a simulated
-//! crash: stale cached blocks from "before the crash" must be forgotten,
-//! not reused, exactly as a real crash would forget DRAM.
+//! * **Fill** (bin empty on `malloc`): reserve a whole batch of blocks —
+//!   every free block of a partial superblock, or all of a fresh one —
+//!   with a *single* anchor CAS, then carve the batch into the bin
+//!   locally. The slow path's cost (one CAS, and for fresh superblocks
+//!   one flush+fence of the size identity) is amortized over the batch.
+//! * **Flush** (bin full on `free`): return the *entire* bin (paper
+//!   §4.4: "all of the blocks in the cache are pushed back"; contrast
+//!   Makalu's return-half policy, §6.3). Blocks are grouped by
+//!   superblock, pre-linked into a local chain, and each group is spliced
+//!   into its anchor's free list with a single CAS — one CAS per
+//!   superblock touched, not one per block.
+//!
+//! In between, `malloc` is an array pop and `free` an array push.
+//!
+//! ## The single-heap fast slot
+//!
+//! Because a process may hold several heaps, the thread-local store keeps
+//! a small vector of per-heap cache sets keyed by heap id. The
+//! overwhelmingly common case is one heap, so a separate thread-local
+//! **fast slot** memoizes `(heap id, pointer to that heap's cache set)`.
+//! The malloc/free fast path is then: one fast-slot read, one id compare,
+//! one generation compare, one bin pop/push. The linear scan over cache
+//! sets only runs on a fast-slot miss (first touch, heap switch, or after
+//! a crash). Entries are boxed so the memoized pointer stays valid when
+//! the vector reallocates; every path that removes or replaces an entry
+//! invalidates the slot first.
+//!
+//! ## Crash semantics
+//!
+//! The bins are **transient**: nothing about them is flushed, and after a
+//! crash their contents are recovered by the tracing GC (blocks in a bin
+//! are unreachable from the roots, so they are reclaimed). Each cache set
+//! is stamped with the heap's *generation*, which is bumped by a
+//! simulated crash: stale cached blocks from "before the crash" must be
+//! forgotten, not reused, exactly as a real crash would forget DRAM. The
+//! generation compare sits on the fast path so a crash invalidates the
+//! fast slot, too. On clean thread exit the bins are flushed back to the
+//! heap, so a clean shutdown leaves nothing cached.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::Weak;
 
 use crate::heap::HeapInner;
 use crate::size_class::NUM_CLASSES;
+
+/// A fixed-capacity, array-backed bin of cached block addresses for one
+/// size class (LRMalloc's CacheBin). Storage is allocated lazily on first
+/// use, sized by [`crate::size_class::cache_capacity`], and never grows.
+pub(crate) struct CacheBin {
+    /// Slot array; empty until the class is first used.
+    slots: Box<[usize]>,
+    /// Number of live entries in `slots[..len]`.
+    len: u32,
+}
+
+impl CacheBin {
+    fn new() -> CacheBin {
+        CacheBin { slots: Box::default(), len: 0 }
+    }
+
+    /// Pop the most recently cached block, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: len was > 0 and is always <= slots.len().
+        Some(unsafe { *self.slots.get_unchecked(self.len as usize) })
+    }
+
+    /// Push a block. Caller must have checked [`CacheBin::is_full`].
+    #[inline]
+    pub fn push(&mut self, addr: usize) {
+        debug_assert!((self.len as usize) < self.slots.len(), "cache bin overflow");
+        // SAFETY: guarded by the debug_assert contract above.
+        unsafe { *self.slots.get_unchecked_mut(self.len as usize) = addr };
+        self.len += 1;
+    }
+
+    /// True when a push would overflow. Also true for a never-used bin
+    /// (capacity 0), so the slow path doubles as lazy allocation.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len as usize == self.slots.len()
+    }
+
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocate the slot array if this bin has never been used.
+    pub fn ensure_capacity(&mut self, cap: usize) {
+        if self.slots.is_empty() {
+            self.slots = vec![0usize; cap].into_boxed_slice();
+        }
+        debug_assert_eq!(self.slots.len(), cap, "cache bin capacity changed");
+    }
+
+    /// The cached blocks, for a bulk flush. Call [`CacheBin::clear`]
+    /// after the flush consumes them.
+    #[inline]
+    pub fn blocks_mut(&mut self) -> &mut [usize] {
+        &mut self.slots[..self.len as usize]
+    }
+
+    /// Forget all cached blocks (after a bulk flush took ownership).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
 
 /// Per-heap, per-thread cache set.
 pub(crate) struct HeapTls {
     pub heap_id: u64,
     pub generation: u64,
     pub weak: Weak<HeapInner>,
-    /// Cached absolute block addresses per class (class 0 unused).
-    pub caches: Vec<Vec<usize>>,
+    /// One bin per size class (index 0 unused: large allocations bypass
+    /// the cache).
+    pub bins: [CacheBin; NUM_CLASSES],
 }
 
 impl HeapTls {
     fn new(heap_id: u64, generation: u64, weak: Weak<HeapInner>) -> HeapTls {
-        HeapTls {
-            heap_id,
-            generation,
-            weak,
-            caches: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
-        }
+        HeapTls { heap_id, generation, weak, bins: std::array::from_fn(|_| CacheBin::new()) }
     }
 }
 
-/// Thread-local store of cache sets; drained on thread exit.
+/// Thread-local store of cache sets; flushed on thread exit.
 struct TlsStore {
-    entries: Vec<HeapTls>,
+    /// Boxed so [`FAST`] can hold a stable pointer across Vec growth.
+    #[allow(clippy::vec_box)]
+    entries: Vec<Box<HeapTls>>,
 }
 
 impl Drop for TlsStore {
     fn drop(&mut self) {
+        // The fast slot may point into an entry we are about to drop;
+        // clear it first. FAST holds no destructor of its own, so this
+        // set succeeds even during thread teardown.
+        FAST.set((0, std::ptr::null_mut()));
         for entry in &mut self.entries {
             if let Some(heap) = entry.weak.upgrade() {
                 // Return blocks only if the heap has not crashed or closed
@@ -60,13 +169,41 @@ impl Drop for TlsStore {
 }
 
 thread_local! {
+    /// Single-heap fast slot: (heap id, pointer to its cache set in this
+    /// thread's store). Heap ids start at 1, so id 0 never matches. The
+    /// pointee is owned by `TLS`; every removal/replacement invalidates
+    /// this slot before touching the entry.
+    static FAST: Cell<(u64, *mut HeapTls)> = const { Cell::new((0, std::ptr::null_mut())) };
+
     static TLS: RefCell<TlsStore> = const { RefCell::new(TlsStore { entries: Vec::new() }) };
 }
 
 /// Run `f` with this thread's cache set for `heap`, creating or resetting
 /// it as needed. `make_weak` is only invoked when a fresh cache set is
 /// created, keeping `Arc` weak-count traffic off the malloc fast path.
+#[inline]
 pub(crate) fn with_heap_tls<R>(
+    heap: &HeapInner,
+    make_weak: impl FnOnce() -> Weak<HeapInner>,
+    f: impl FnOnce(&mut HeapTls) -> R,
+) -> R {
+    let (fast_id, fast_ptr) = FAST.get();
+    if fast_id == heap.id() {
+        // SAFETY: the fast slot only ever holds a pointer to a live boxed
+        // entry of this thread's store (invalidated before removal), so
+        // the pointee is valid, and `f` has exclusive access: nothing in
+        // the allocator re-enters the TLS machinery while `f` runs.
+        let entry = unsafe { &mut *fast_ptr };
+        if entry.generation == heap.generation() {
+            return f(entry);
+        }
+    }
+    with_heap_tls_miss(heap, make_weak, f)
+}
+
+/// Fast-slot miss: scan (or extend) the store, refresh the slot.
+#[cold]
+fn with_heap_tls_miss<R>(
     heap: &HeapInner,
     make_weak: impl FnOnce() -> Weak<HeapInner>,
     f: impl FnOnce(&mut HeapTls) -> R,
@@ -76,22 +213,26 @@ pub(crate) fn with_heap_tls<R>(
         let gen = heap.generation();
         let id = heap.id();
         let pos = store.entries.iter().position(|e| e.heap_id == id);
-        let entry = match pos {
+        let entry: &mut Box<HeapTls> = match pos {
             Some(p) => {
                 let e = &mut store.entries[p];
                 if e.generation != gen {
                     // The heap crashed since these blocks were cached:
                     // they are now owned by the recovered free lists (or
                     // the GC), so the cache must be discarded, not reused.
-                    *e = HeapTls::new(id, gen, make_weak());
+                    // Overwrite in place: the box (and any fast-slot
+                    // pointer to it) stays valid.
+                    **e = HeapTls::new(id, gen, make_weak());
                 }
                 e
             }
             None => {
-                store.entries.push(HeapTls::new(id, gen, make_weak()));
+                store.entries.push(Box::new(HeapTls::new(id, gen, make_weak())));
                 store.entries.last_mut().unwrap()
             }
         };
+        let ptr: *mut HeapTls = &mut **entry;
+        FAST.set((id, ptr));
         f(entry)
     })
 }
@@ -101,6 +242,7 @@ pub(crate) fn drain_current_thread(heap: &HeapInner) {
     TLS.with(|tls| {
         let mut store = tls.borrow_mut();
         if let Some(p) = store.entries.iter().position(|e| e.heap_id == heap.id()) {
+            FAST.set((0, std::ptr::null_mut()));
             let mut entry = store.entries.swap_remove(p);
             if entry.generation == heap.generation() {
                 heap.drain_tls(&mut entry);
@@ -113,6 +255,63 @@ pub(crate) fn drain_current_thread(heap: &HeapInner) {
 pub(crate) fn discard_current_thread(heap: &HeapInner) {
     TLS.with(|tls| {
         let mut store = tls.borrow_mut();
+        FAST.set((0, std::ptr::null_mut()));
         store.entries.retain(|e| e.heap_id != heap.id());
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_starts_empty_and_full() {
+        let mut bin = CacheBin::new();
+        assert_eq!(bin.len(), 0);
+        assert_eq!(bin.capacity(), 0);
+        // Unallocated bin reports full so the slow path sizes it.
+        assert!(bin.is_full());
+        assert_eq!(bin.pop(), None);
+    }
+
+    #[test]
+    fn bin_lifo_order() {
+        let mut bin = CacheBin::new();
+        bin.ensure_capacity(8);
+        assert!(!bin.is_full());
+        for a in [16usize, 32, 48] {
+            bin.push(a);
+        }
+        assert_eq!(bin.len(), 3);
+        assert_eq!(bin.pop(), Some(48));
+        assert_eq!(bin.pop(), Some(32));
+        assert_eq!(bin.pop(), Some(16));
+        assert_eq!(bin.pop(), None);
+    }
+
+    #[test]
+    fn bin_full_at_capacity() {
+        let mut bin = CacheBin::new();
+        bin.ensure_capacity(4);
+        for a in 0..4usize {
+            assert!(!bin.is_full());
+            bin.push(a * 8);
+        }
+        assert!(bin.is_full());
+        let blocks: Vec<usize> = bin.blocks_mut().to_vec();
+        assert_eq!(blocks, vec![0, 8, 16, 24]);
+        bin.clear();
+        assert_eq!(bin.len(), 0);
+        assert!(!bin.is_full());
+    }
+
+    #[test]
+    fn ensure_capacity_is_idempotent() {
+        let mut bin = CacheBin::new();
+        bin.ensure_capacity(16);
+        bin.push(8);
+        bin.ensure_capacity(16);
+        assert_eq!(bin.len(), 1);
+        assert_eq!(bin.capacity(), 16);
+    }
 }

@@ -16,18 +16,12 @@ use std::time::{Duration, Instant};
 /// crash-semantics testing, where wall-clock cost is irrelevant).
 /// [`FlushModel::optane`] charges costs representative of an Optane DIMM
 /// and is used by the benchmark harness.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FlushModel {
     /// Cost of a single `clwb` of one cache line.
     pub flush_ns: u64,
     /// Cost of an `sfence` that must wait for outstanding write-backs.
     pub fence_ns: u64,
-}
-
-impl Default for FlushModel {
-    fn default() -> Self {
-        FlushModel { flush_ns: 0, fence_ns: 0 }
-    }
 }
 
 impl FlushModel {

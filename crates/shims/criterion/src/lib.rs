@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion` providing the harness surface the
+//! bench targets use: groups, `BenchmarkId`, `Bencher::{iter,
+//! iter_custom}`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, calibrate an iteration count so one
+//! sample takes roughly `measurement_time / sample_size`, run
+//! `sample_size` samples, and report the **median** ns/iter (robust to
+//! scheduler noise). Results are printed as aligned text; no statistics
+//! beyond the median, no HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// A benchmark's display identity: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name }
+    }
+}
+
+/// One measured result, exposed so callers can post-process (e.g. emit
+/// machine-readable JSON next to the human-readable table).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total iterations executed across all samples.
+    pub iterations: u64,
+}
+
+/// Harness entry point. `Default` honors the standard
+/// `CRITERION_SAMPLE_SIZE` / `CRITERION_MEASUREMENT_MS` env overrides so
+/// CI can run benches in smoke mode.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let measurement_time = std::env::var("CRITERION_MEASUREMENT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_secs(1));
+        Criterion { sample_size, measurement_time, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// All results measured so far (for machine-readable emission).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let result = run_bench(&full, self.sample_size, self.measurement_time, &mut f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.name);
+        let result = run_bench(&full, self.sample_size, self.measurement_time, &mut |b| {
+            f(b, input)
+        });
+        self.criterion.results.push(result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (accepted and ignored; the shim reports ns/iter).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the bench closure; records one sample per invocation of
+/// `iter`/`iter_custom`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    #[inline]
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// The closure times `iters` operations itself and returns the total.
+    #[inline]
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_bench(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) -> BenchResult {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // costs at least ~1/sample_size of the measurement budget.
+    let target = measurement_time.div_f64(sample_size as f64).max(Duration::from_micros(200));
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 30 {
+            break;
+        }
+        // Aim directly at the target with a growth cap to stay responsive.
+        let ratio = target.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * ratio.clamp(2.0, 100.0)).ceil() as u64;
+    }
+
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        total_iters += iters;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_s = samples[samples.len() / 2];
+    let ns = median_s * 1e9;
+    println!("bench  {id:<56} {ns:>12.1} ns/iter  ({:.2} Mops/s)", 1e3 / ns.max(1e-9));
+    BenchResult { id: id.to_string(), ns_per_iter: ns, iterations: total_iters }
+}
+
+/// Define `pub fn $group_name()` running the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "3");
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "30");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.bench_function("spin", |b| b.iter(|| black_box(1u64 + 1)));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.ns_per_iter > 0.0));
+    }
+
+    #[test]
+    fn iter_custom_records_reported_duration() {
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "2");
+        std::env::set_var("CRITERION_MEASUREMENT_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+        g.finish();
+        let r = &c.results()[0];
+        assert!((r.ns_per_iter - 100.0).abs() < 1.0, "got {}", r.ns_per_iter);
+    }
+}

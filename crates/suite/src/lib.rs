@@ -1,0 +1,13 @@
+//! Umbrella crate for the Ralloc reproduction workspace.
+//!
+//! The real code lives in the `crates/` members; this package exists to
+//! host the cross-crate integration tests (`tests/`) and the runnable
+//! `examples/`. It re-exports the workspace crates so examples and docs
+//! have one import root.
+
+pub use baselines;
+pub use nvm;
+pub use pds;
+pub use pptr;
+pub use ralloc;
+pub use workloads;

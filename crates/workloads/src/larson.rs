@@ -89,7 +89,7 @@ pub fn run(alloc: &DynAlloc, p: Params) -> f64 {
                         slots[i] = ptr as usize;
                     }
                     // Hand leftovers to the successor worker.
-                    next_tx.send(std::mem::replace(&mut slots, Vec::new())).unwrap();
+                    next_tx.send(std::mem::take(&mut slots)).unwrap();
                     slots = rx.recv().unwrap();
                     // Integrity check on inherited blocks.
                     for &pslot in slots.iter().filter(|&&x| x != 0) {
