@@ -17,7 +17,7 @@ fn ablation(c: &mut Criterion) {
     let models = [
         ("free", FlushModel::free()),
         ("optane", FlushModel::optane()),
-        ("slow_nvm", FlushModel { flush_ns: 100, fence_ns: 400 }),
+        ("slow_nvm", FlushModel { flush_ns: 100, pipelined_line_ns: 10, fence_ns: 400 }),
     ];
     for kind in [AllocKind::Ralloc, AllocKind::Makalu, AllocKind::Pmdk] {
         for (mname, model) in models {

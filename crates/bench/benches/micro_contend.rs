@@ -1,0 +1,127 @@
+//! Contention microbenchmark for the sharded partial lists.
+//!
+//! `micro_malloc` measures the fast path, which never touches a shared
+//! list; this target measures the **slow paths** under thread contention,
+//! where the per-class partial-list head CAS is the bottleneck the
+//! sharding subsystem (`ralloc::shard`) exists to remove. The workload
+//! maximizes slow-path frequency: each thread churns a private working
+//! set of blocks from the largest small class (14336 B, 4 blocks per
+//! superblock, cache-bin capacity 4), so roughly every fourth `malloc` is
+//! a Fill popping a partial shard and every fourth `free` overflows the
+//! bin into a Flush pushing superblocks back. The same binary runs the
+//! sweep with different `partial_shards` configs — no env tricks, no
+//! rebuilds — and reports pair throughput plus the observed steal rate.
+//!
+//! Emits `BENCH_contend.json` at the workspace root:
+//! `{threads, shards, mops, steal_rate}` per point. Set
+//! `MICRO_CONTEND_WINDOW_MS` to change the per-point window (default
+//! 300 ms; noisy below ~150 ms). `host_cores` is recorded because
+//! oversubscribed single-core hosts compress the shard effect: with one
+//! runnable thread at a time there is no cache-line ping-pong, only CAS
+//! interleaving, so multi-core hosts show a substantially larger spread.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use ralloc::{Ralloc, RallocConfig};
+
+/// Block size under test: the largest small class (4 blocks/superblock),
+/// chosen to maximize the slow-path fraction of the op stream.
+const BLOCK: usize = 14336;
+/// Per-thread working-set slots. Large enough that flush batches span
+/// many superblocks (each costing an anchor CAS + a partial-list push).
+const SLOTS: usize = 64;
+
+/// Run `threads` workers churning private working sets for `window`;
+/// returns (malloc+free pairs)/s in Mops.
+fn churn_throughput(heap: &Ralloc, threads: usize, window: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let heap = heap.clone();
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    let mut slots: Vec<usize> = vec![0; SLOTS];
+                    let mut x = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
+                    let mut rand = move || {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        x
+                    };
+                    barrier.wait();
+                    let mut pairs = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..256 {
+                            let i = rand() as usize % SLOTS;
+                            if slots[i] == 0 {
+                                let p = heap.malloc(BLOCK);
+                                assert!(!p.is_null(), "bench pool exhausted");
+                                slots[i] = p as usize;
+                            } else {
+                                heap.free(slots[i] as *mut u8);
+                                slots[i] = 0;
+                                pairs += 1;
+                            }
+                        }
+                    }
+                    for &p in slots.iter().filter(|&&p| p != 0) {
+                        heap.free(p as *mut u8);
+                    }
+                    pairs
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("contend worker")).sum()
+    });
+    total as f64 / window.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let window = Duration::from_millis(
+        std::env::var("MICRO_CONTEND_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut entries = Vec::new();
+    for &threads in &[1usize, 8] {
+        for &shards in &[1usize, 4, 16] {
+            // Fresh heap per point so carve state and list population do
+            // not bleed across configurations.
+            let heap = Ralloc::create(
+                512 << 20,
+                RallocConfig { partial_shards: shards, ..Default::default() },
+            );
+            let _ = churn_throughput(&heap, threads, window / 4); // warmup
+            // Steal rate over the measured window only — warmup pops
+            // (taken while carve state is still populating) would skew it.
+            let stats = heap.slow_stats();
+            let home0 = stats.partial_pops_home.load(Ordering::Relaxed);
+            let steal0 = stats.partial_steals.load(Ordering::Relaxed);
+            let mops = churn_throughput(&heap, threads, window);
+            let home = stats.partial_pops_home.load(Ordering::Relaxed) - home0;
+            let stolen = stats.partial_steals.load(Ordering::Relaxed) - steal0;
+            let steal = if home + stolen == 0 { 0.0 } else { stolen as f64 / (home + stolen) as f64 };
+            assert_eq!(heap.partial_shards() as usize, shards, "RALLOC_SHARDS override set?");
+            println!("contend x{threads} S={shards}: {mops:.3} Mops/s (steal rate {steal:.3})");
+            entries.push(format!(
+                "    {{\"threads\": {threads}, \"shards\": {shards}, \"mops\": {mops:.3}, \"steal_rate\": {steal:.4}}}"
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"micro_contend\",\n  \"unit\": \"Mops/s malloc+free pairs, 14336 B (slow-path-heavy churn)\",\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_contend.json");
+    std::fs::write(&path, json).expect("write BENCH_contend.json");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,123 @@
+//! Recovery-latency scaling: 1-worker vs N-worker offline recovery on a
+//! multi-GB-class pool (paper Figure 6 territory, plus the §6.4 "future
+//! work" parallelization this repo implements).
+//!
+//! The pool is populated with ≥ 10k carved superblocks: a root-reachable
+//! layer of linked lists (real mark-phase work, precise filters) over a
+//! large leaked bulk (real sweep-phase work — every unmarked block must
+//! be re-chained, every descriptor re-anchored, every partial superblock
+//! placed on its deterministic shard). Each worker count runs several
+//! repetitions of `recover_parallel`; recovery is idempotent, so the
+//! repetitions rebuild identical state and the minimum is a fair
+//! latency figure.
+//!
+//! Emits `BENCH_recovery.json` at the workspace root. `host_cores` is
+//! recorded because sweep parallelism is CPU-bound: on a single-core
+//! host the N-worker points measure only the coordination overhead, and
+//! the scaling is visible only with real cores. Set
+//! `RECOVERY_SCALE_SBS` to change the superblock target (default
+//! 10_500) and `RECOVERY_SCALE_REPS` the repetitions (default 3).
+
+use std::path::PathBuf;
+
+use ralloc::{Pptr, Ralloc, RallocConfig, Trace, Tracer};
+
+#[repr(C)]
+struct Node {
+    value: u64,
+    next: Pptr<Node>,
+}
+
+unsafe impl Trace for Node {
+    fn trace(&self, t: &mut Tracer<'_>) {
+        t.visit_pptr(&self.next);
+    }
+}
+
+const ROOTS: usize = 32;
+const NODES_PER_ROOT: usize = 2000;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let target_sbs = env_usize("RECOVERY_SCALE_SBS", 10_500);
+    let reps = env_usize("RECOVERY_SCALE_REPS", 3).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let heap = Ralloc::create((target_sbs + 64) * ralloc::SB_SIZE, RallocConfig::default());
+
+    // Populate from a worker thread that exits before recovery runs:
+    // thread exit drains its cache bins, so the recover calls below see
+    // the quiescent, cache-free heap the offline-recovery contract
+    // requires (a live cache would alias the rebuilt free chains).
+    std::thread::scope(|s| {
+        let heap = &heap;
+        s.spawn(move || {
+            // Mark-phase work: ROOTS precisely-traced linked lists.
+            for r in 0..ROOTS {
+                let mut head: *mut Node = std::ptr::null_mut();
+                for i in 0..NODES_PER_ROOT as u64 {
+                    let p = heap.malloc(std::mem::size_of::<Node>()) as *mut Node;
+                    assert!(!p.is_null());
+                    // SAFETY: fresh block.
+                    unsafe {
+                        (*p).value = i;
+                        (*p).next.set(head);
+                    }
+                    head = p;
+                }
+                heap.set_root::<Node>(r, head);
+            }
+
+            // Sweep-phase work: leak 4 KiB blocks (16 per superblock)
+            // until the pool holds the target superblock count, freeing
+            // every third one so the sweep rebuilds a mix of full,
+            // partial, and empty superblocks.
+            let mut i = 0u64;
+            while heap.used_superblocks() < target_sbs {
+                let p = heap.malloc(4096);
+                assert!(!p.is_null(), "raise the pool capacity");
+                if i.is_multiple_of(3) {
+                    heap.free(p);
+                }
+                i += 1;
+            }
+        });
+    });
+    println!(
+        "pool populated: {} superblocks, {} rooted nodes",
+        heap.used_superblocks(),
+        ROOTS * NODES_PER_ROOT
+    );
+
+    let mut entries = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut best_ms = f64::INFINITY;
+        let mut reachable = 0u64;
+        for _ in 0..reps {
+            let stats = heap.recover_parallel(workers);
+            assert_eq!(
+                stats.reachable_blocks as usize,
+                ROOTS * NODES_PER_ROOT,
+                "recovery lost rooted nodes"
+            );
+            reachable = stats.reachable_blocks;
+            best_ms = best_ms.min(stats.duration.as_secs_f64() * 1e3);
+        }
+        println!("recover x{workers}: {best_ms:.1} ms (best of {reps})");
+        entries.push(format!(
+            "    {{\"workers\": {workers}, \"ms\": {best_ms:.2}, \"reachable_blocks\": {reachable}}}"
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"recovery_scale\",\n  \"unit\": \"ms wall-clock offline recovery (best of {reps})\",\n  \"superblocks\": {},\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        heap.used_superblocks(),
+        entries.join(",\n")
+    );
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_recovery.json");
+    std::fs::write(&path, json).expect("write BENCH_recovery.json");
+    println!("wrote {}", path.display());
+}

@@ -26,6 +26,7 @@ use std::sync::atomic::Ordering;
 use crate::anchor::SbState;
 use crate::descriptor::{Desc, DescKind};
 use crate::heap::Ralloc;
+use crate::layout::MAX_SHARDS;
 use crate::lists::DescList;
 use crate::size_class::{class_max_count, NUM_CLASSES, SB_SIZE};
 
@@ -108,21 +109,26 @@ pub fn check_heap(heap: &Ralloc) -> CheckReport {
     }
     let mut on_partial: HashSet<u32> = HashSet::new();
     let mut partial_class: Vec<(u32, u32)> = Vec::new();
+    // Walk every *reserved* shard head, not just the live shard count:
+    // a descriptor stranded on a stale high shard is a bug the checker
+    // must see, and live shards are a prefix of the reserved ones.
     for class in 1..NUM_CLASSES as u32 {
-        for idx in DescList::partial_list(geo, class).collect(pool, geo) {
-            if !on_partial.insert(idx) {
-                report.violate(
-                    "list-membership",
-                    format!("descriptor {idx} on more than one partial list"),
-                );
+        for shard in 0..MAX_SHARDS as u32 {
+            for idx in DescList::partial_shard(geo, class, shard).collect(pool, geo) {
+                if !on_partial.insert(idx) {
+                    report.violate(
+                        "list-membership",
+                        format!("descriptor {idx} on more than one partial list/shard"),
+                    );
+                }
+                if on_free.contains(&idx) {
+                    report.violate(
+                        "list-membership",
+                        format!("descriptor {idx} on both free and partial lists"),
+                    );
+                }
+                partial_class.push((idx, class));
             }
-            if on_free.contains(&idx) {
-                report.violate(
-                    "list-membership",
-                    format!("descriptor {idx} on both free and partial lists"),
-                );
-            }
-            partial_class.push((idx, class));
         }
     }
     report.partial_list_len = on_partial.len();

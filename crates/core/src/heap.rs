@@ -32,11 +32,28 @@ use crate::layout::{
     Geometry, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
 };
 use crate::lists::DescList;
+use crate::shard::{self, ShardedPartial};
 use crate::size_class::{
     cache_capacity, class_block_size, class_max_count, is_small_class, size_class_of,
     CLASS_CONTINUATION, NUM_CLASSES, SB_SIZE,
 };
 use crate::tcache::{self, CacheBin, HeapTls};
+
+/// Best-effort read prefetch of the cache line at `addr`. The fill and
+/// flush slow paths walk/link free chains whose next element is a
+/// dependent load; issuing the prefetch as soon as an address is known
+/// hides most of that latency on large batches. No-op on architectures
+/// without a portable prefetch intrinsic.
+#[inline(always)]
+fn prefetch_read(addr: usize) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; any address is permitted.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(addr as *const i8, core::arch::x86_64::_MM_HINT_T0)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = addr;
+}
 
 static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -54,6 +71,18 @@ pub struct RallocConfig {
     /// paper produced its LRMalloc baseline ("Ralloc without flush and
     /// fence", §6.1). A transient heap cannot be recovered.
     pub transient: bool,
+    /// Partial-list shards per size class (see [`crate::shard`]). Clamped
+    /// to `1..=MAX_SHARDS` at heap construction; the `RALLOC_SHARDS`
+    /// environment variable overrides it (benchmarks sweep shard counts
+    /// through one binary that way). Shards are transient metadata, so the
+    /// same pool image can be reopened under any shard count.
+    pub partial_shards: usize,
+    /// Makalu-style churn policy (paper §6.3): when a full cache bin
+    /// overflows, return only the *older* half to the heap instead of the
+    /// whole bin. Halves the flush batch size but keeps recently-freed
+    /// blocks cached, damping the refill/flush oscillation that inflates
+    /// the footprint under churn. Env override: `RALLOC_FLUSH_HALF=1`/`0`.
+    pub flush_half: bool,
 }
 
 impl Default for RallocConfig {
@@ -63,9 +92,15 @@ impl Default for RallocConfig {
             flush_model: FlushModel::default(),
             injector: None,
             transient: false,
+            partial_shards: DEFAULT_SHARDS,
+            flush_half: false,
         }
     }
 }
+
+/// Default shard count: enough to spread the slow paths of a typical
+/// thread pool without bloating the probe ring for single-thread runs.
+pub const DEFAULT_SHARDS: usize = 4;
 
 impl RallocConfig {
     /// Config for crash-semantics testing: tracked pool, free flushes.
@@ -108,6 +143,16 @@ pub struct SlowStats {
     pub sb_scavenged: AtomicU64,
     /// Large allocations served.
     pub large_allocs: AtomicU64,
+    /// Fills served by popping the calling thread's *home* shard.
+    pub partial_pops_home: AtomicU64,
+    /// Fills served by stealing from a neighbor shard (home was empty).
+    pub partial_steals: AtomicU64,
+    /// FULL→PARTIAL transitions enlisting a superblock on the pusher's
+    /// home shard.
+    pub partial_shard_pushes: AtomicU64,
+    /// Bin overflows resolved by the flush-half policy (0 unless
+    /// [`RallocConfig::flush_half`] is set).
+    pub half_flushes: AtomicU64,
 }
 
 impl SlowStats {
@@ -128,6 +173,18 @@ impl SlowStats {
         }
         self.cache_flushes_blocks.load(Ordering::Relaxed) as f64 / flushes as f64
     }
+
+    /// Fraction of partial-list pops that had to steal from a neighbor
+    /// shard (0.0 before the first pop). High values mean the shard
+    /// placement is imbalanced for this workload.
+    pub fn steal_rate(&self) -> f64 {
+        let home = self.partial_pops_home.load(Ordering::Relaxed);
+        let stolen = self.partial_steals.load(Ordering::Relaxed);
+        if home + stolen == 0 {
+            return 0.0;
+        }
+        stolen as f64 / (home + stolen) as f64
+    }
 }
 
 /// Shared heap state. Public API lives on [`Ralloc`].
@@ -136,6 +193,10 @@ pub struct HeapInner {
     geo: Geometry,
     id: u64,
     transient: bool,
+    /// Live partial-list shard count (transient config; see `shard`).
+    shards: u32,
+    /// Return only half of an overflowing cache bin (Makalu-style).
+    flush_half: bool,
     /// Bumped by crash simulation so stale thread caches are discarded.
     generation: AtomicU64,
     closed: AtomicBool,
@@ -175,6 +236,52 @@ impl HeapInner {
     #[inline]
     pub(crate) fn is_transient(&self) -> bool {
         self.transient
+    }
+
+    /// Live partial-list shard count.
+    #[inline]
+    pub(crate) fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The sharded partial list of `class` under this heap's shard count.
+    #[inline]
+    pub(crate) fn partial(&self, class: u32) -> ShardedPartial {
+        ShardedPartial::new(class, self.shards)
+    }
+
+    /// The calling thread's home shard on this heap.
+    #[inline]
+    pub(crate) fn home_shard(&self) -> u32 {
+        shard::home_shard(shard::thread_token(), self.shards)
+    }
+
+    /// Fold descriptors parked on reserved-but-stale shard heads
+    /// (`live..MAX_SHARDS`) into the live shards. A *clean* reopen under
+    /// a smaller shard count inherits the previous run's heads verbatim,
+    /// and nothing online ever probes past the live count (pops and
+    /// scavenges stop there) — without this, those superblocks' free
+    /// blocks would be stranded until the next dirty restart's rebuild.
+    fn fold_stale_shards(&self) {
+        for class in 1..NUM_CLASSES as u32 {
+            for s in self.shards..shard::MAX_SHARDS as u32 {
+                let stale = DescList::partial_shard(&self.geo, class, s);
+                let mut popped = 0;
+                while let Some(idx) = stale.pop(&self.pool, &self.geo) {
+                    popped += 1;
+                    assert!(
+                        popped <= self.geo.max_sb,
+                        "stale shard head cycles: corrupt clean image"
+                    );
+                    self.partial(class).push(
+                        &self.pool,
+                        &self.geo,
+                        idx,
+                        shard::place_superblock(idx as usize, self.shards),
+                    );
+                }
+            }
+        }
     }
 
     /// Absolute address of pool offset `off`.
@@ -230,12 +337,14 @@ impl HeapInner {
         debug_assert!(is_small_class(class));
         debug_assert_eq!(bin.len(), 0, "fill into a non-empty bin");
         bin.ensure_capacity(cache_capacity(class) as usize);
-        let partial = DescList::partial_list(&self.geo, class);
+        let partial = self.partial(class);
+        let home = self.home_shard();
         let free = DescList::free_list(&self.geo);
         let bsize = class_block_size(class) as usize;
         let mc = class_max_count(class);
         loop {
-            if let Some(idx) = partial.pop(&self.pool, &self.geo) {
+            if let Some(pop) = partial.pop(&self.pool, &self.geo, home) {
+                let idx = pop.idx;
                 let d = Desc::new(&self.pool, &self.geo, idx);
                 let mut a = d.anchor(Ordering::Acquire);
                 let mut retired = false;
@@ -256,7 +365,14 @@ impl HeapInner {
                     }
                 }
                 if retired {
+                    // Lazily-retired EMPTY pop: no fill was served, so it
+                    // counts toward neither home pops nor steals.
                     continue;
+                }
+                if pop.stolen {
+                    self.slow.partial_steals.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.slow.partial_pops_home.fetch_add(1, Ordering::Relaxed);
                 }
                 self.slow.fill_anchor_cas.fetch_add(1, Ordering::Relaxed);
                 // We own the a.count-block chain headed at a.avail; carve
@@ -272,12 +388,17 @@ impl HeapInner {
                 for _ in 0..take {
                     debug_assert!(blk < mc);
                     let addr = sb_addr + blk as usize * bsize;
-                    bin.push(addr);
                     // Free-block link: the block's first word holds the
                     // next free block's index (bounded walk: the final
                     // link word is never dereferenced).
                     // SAFETY: addr is a free block we exclusively own.
                     blk = unsafe { (*(addr as *const AtomicU64)).load(Ordering::Relaxed) } as u32;
+                    // The walk is a dependent pointer chase; start pulling
+                    // the next link word in while this block is pushed.
+                    if blk < mc {
+                        prefetch_read(sb_addr + blk as usize * bsize);
+                    }
+                    bin.push(addr);
                 }
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fill_blocks.fetch_add(take as u64, Ordering::Relaxed);
@@ -330,28 +451,30 @@ impl HeapInner {
     /// a few instructions, trading at worst one transient extra carve
     /// for the (permanent) carve that skipping scavenging would cost.
     fn scavenge(&self) -> Option<u32> {
-        const POPS_PER_CLASS: usize = 4;
+        const POPS_PER_SHARD: usize = 4;
         for class in 1..NUM_CLASSES as u32 {
-            let list = DescList::partial_list(&self.geo, class);
-            let mut repush: [u32; POPS_PER_CLASS] = [0; POPS_PER_CLASS];
-            let mut repush_n = 0;
-            let mut found = None;
-            while repush_n < POPS_PER_CLASS {
-                let Some(idx) = list.pop(&self.pool, &self.geo) else { break };
-                let d = Desc::new(&self.pool, &self.geo, idx);
-                if d.anchor(Ordering::Acquire).state == SbState::Empty {
-                    found = Some(idx);
-                    break;
+            for s in 0..self.shards {
+                let list = DescList::partial_shard(&self.geo, class, s);
+                let mut repush: [u32; POPS_PER_SHARD] = [0; POPS_PER_SHARD];
+                let mut repush_n = 0;
+                let mut found = None;
+                while repush_n < POPS_PER_SHARD {
+                    let Some(idx) = list.pop(&self.pool, &self.geo) else { break };
+                    let d = Desc::new(&self.pool, &self.geo, idx);
+                    if d.anchor(Ordering::Acquire).state == SbState::Empty {
+                        found = Some(idx);
+                        break;
+                    }
+                    repush[repush_n] = idx;
+                    repush_n += 1;
                 }
-                repush[repush_n] = idx;
-                repush_n += 1;
-            }
-            for &idx in &repush[..repush_n] {
-                list.push(&self.pool, &self.geo, idx);
-            }
-            if found.is_some() {
-                self.slow.sb_scavenged.fetch_add(1, Ordering::Relaxed);
-                return found;
+                for &idx in &repush[..repush_n] {
+                    list.push(&self.pool, &self.geo, idx);
+                }
+                if found.is_some() {
+                    self.slow.sb_scavenged.fetch_add(1, Ordering::Relaxed);
+                    return found;
+                }
             }
         }
         None
@@ -362,7 +485,7 @@ impl HeapInner {
     /// FULL→PARTIAL and →EMPTY transitions (paper §4.4). The batch is
     /// pre-linked into a local chain (we own every block until the CAS
     /// publishes it), then spliced ahead of the current free-list head.
-    fn push_batch(&self, sb: usize, blocks: &[usize]) {
+    fn push_batch(&self, sb: usize, blocks: &[usize], home: u32) {
         debug_assert!(!blocks.is_empty());
         let d = Desc::new(&self.pool, &self.geo, sb as u32);
         let mc = d.max_count();
@@ -375,9 +498,13 @@ impl HeapInner {
             blk
         };
         // Pre-link the interior of the chain: block i's first word points
-        // at block i+1's index.
+        // at block i+1's index. Unlike the fill walk the addresses are all
+        // known up front, so pull block i+2's line in while linking i.
         // SAFETY: we own every freed block until the CAS publishes them.
-        for w in blocks.windows(2) {
+        for (i, w) in blocks.windows(2).enumerate() {
+            if let Some(&ahead) = blocks.get(i + 2) {
+                prefetch_read(ahead);
+            }
             unsafe { (*(w[0] as *const AtomicU64)).store(block_idx(w[1]) as u64, Ordering::Relaxed) };
         }
         let head = block_idx(blocks[0]);
@@ -401,15 +528,14 @@ impl HeapInner {
                 self.slow.flush_anchor_cas.fetch_add(1, Ordering::Relaxed);
                 if a.state == SbState::Full {
                     // FULL superblocks are on no list; the thread that
-                    // makes the transition enlists the descriptor.
+                    // makes the transition enlists the descriptor — onto
+                    // its own home shard, so a thread's flushed
+                    // superblocks are the ones its next fill pops.
                     if new.state == SbState::Empty {
                         DescList::free_list(&self.geo).push(&self.pool, &self.geo, sb as u32);
                     } else {
-                        DescList::partial_list(&self.geo, d.size_class()).push(
-                            &self.pool,
-                            &self.geo,
-                            sb as u32,
-                        );
+                        self.partial(d.size_class()).push(&self.pool, &self.geo, sb as u32, home);
+                        self.slow.partial_shard_pushes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 // PARTIAL→EMPTY keeps the descriptor on its partial list;
@@ -424,6 +550,8 @@ impl HeapInner {
     /// Flush). Reorders `blocks` in place while partitioning.
     pub(crate) fn flush_blocks(&self, blocks: &mut [usize]) {
         let base = self.pool.base() as usize;
+        // One TLS lookup + hash for the whole batch, not per superblock.
+        let home = self.home_shard();
         let mut i = 0;
         while i < blocks.len() {
             let sb = self
@@ -440,7 +568,7 @@ impl HeapInner {
                     end += 1;
                 }
             }
-            self.push_batch(sb, &blocks[i..end]);
+            self.push_batch(sb, &blocks[i..end], home);
             i = end;
         }
     }
@@ -459,11 +587,31 @@ impl HeapInner {
         bin.clear();
     }
 
-    /// Free-path overflow: size a never-used bin, or flush a full one.
+    /// Return the *older* half of a full bin (Makalu's return-half
+    /// policy, §6.3), keeping the recently-freed half cached. The older
+    /// blocks sit at the bottom of the LIFO array, so the flushed slice is
+    /// also the one most likely to complete superblocks.
+    pub(crate) fn flush_bin_half(&self, bin: &mut CacheBin) {
+        let n = bin.len() as usize;
+        if n == 0 {
+            return;
+        }
+        let half = n.div_ceil(2);
+        self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
+        self.slow.cache_flushes_blocks.fetch_add(half as u64, Ordering::Relaxed);
+        self.slow.half_flushes.fetch_add(1, Ordering::Relaxed);
+        self.flush_blocks(&mut bin.blocks_mut()[..half]);
+        bin.drain_front(half);
+    }
+
+    /// Free-path overflow: size a never-used bin, or flush a full one
+    /// (whole-bin by default, half under [`RallocConfig::flush_half`]).
     #[cold]
     pub(crate) fn free_overflow(&self, class: u32, bin: &mut CacheBin) {
         if bin.capacity() == 0 {
             bin.ensure_capacity(cache_capacity(class) as usize);
+        } else if self.flush_half {
+            self.flush_bin_half(bin);
         } else {
             self.flush_bin(bin);
         }
@@ -598,6 +746,17 @@ impl Ralloc {
         // SAFETY: header reads within bounds.
         let magic = unsafe { pool.read_u64(MAGIC_OFF) };
         if magic != MAGIC {
+            // A recognizable Ralloc image with a different format version
+            // must be refused, not silently re-initialized: erasing a
+            // user's durable heap because they upgraded is data loss.
+            // Anything else is "not a heap" and gets initialized fresh.
+            assert!(
+                magic & !0xFF != MAGIC & !0xFF,
+                "ralloc image has metadata-format version {} but this build \
+                 requires {}; re-create the pool (no in-place migration)",
+                magic & 0xFF,
+                MAGIC & 0xFF,
+            );
             return (Self::fresh(pool, cfg, file), false);
         }
         let geo = Geometry::from_pool_len(pool.len());
@@ -610,10 +769,21 @@ impl Ralloc {
         let dirty = unsafe { pool.atomic_u64(DIRTY_OFF) }.load(Ordering::Acquire) == 1;
         let heap = Self::build(pool, geo, cfg, file);
         // Mark dirty for the duration of this run (the paper's robust
-        // mutex acquire): any crash from here on requires recovery.
+        // mutex acquire): any crash from here on requires recovery. This
+        // must precede the stale-shard fold below — the fold mutates
+        // durable list state, so a crash mid-fold has to trigger a full
+        // rebuild, never a second fold over a half-written image.
         // SAFETY: 8-aligned metadata word.
         unsafe { heap.inner.pool.atomic_u64(DIRTY_OFF) }.store(1, Ordering::Release);
         heap.inner.persist(DIRTY_OFF, 8);
+        // A clean image skips recovery, so heads parked beyond this run's
+        // live shard count must be folded in here. A dirty image gets its
+        // lists rebuilt from scratch by `recover` — and must NOT be
+        // folded: its heads and link words are an inconsistent
+        // incidentally-persisted mixture that a pop loop could cycle on.
+        if !dirty {
+            heap.inner.fold_stale_shards();
+        }
         (heap, dirty)
     }
 
@@ -624,6 +794,8 @@ impl Ralloc {
                 geo,
                 id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
                 transient: cfg.transient,
+                shards: shard::effective_shards(cfg.partial_shards),
+                flush_half: shard::env_flag("RALLOC_FLUSH_HALF").unwrap_or(cfg.flush_half),
                 generation: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
                 file,
@@ -845,6 +1017,11 @@ impl Ralloc {
         self.inner.used_sb()
     }
 
+    /// Live partial-list shard count per size class (see [`crate::shard`]).
+    pub fn partial_shards(&self) -> u32 {
+        self.inner.shards()
+    }
+
     /// True when the heap runs in LRMalloc (no flush/fence) mode.
     pub fn is_transient(&self) -> bool {
         self.inner.is_transient()
@@ -1033,6 +1210,50 @@ mod batch_tests {
         );
         assert_eq!(heap.slow_stats().sb_scavenged.load(Ordering::Relaxed), 1);
         heap.free(q);
+    }
+
+    #[test]
+    fn flush_half_policy_returns_older_half_and_keeps_the_rest() {
+        let heap =
+            Ralloc::create(8 << 20, RallocConfig { flush_half: true, ..Default::default() });
+        let cap = cache_capacity(8) as usize;
+        // cap+1 blocks: the last malloc triggers a second fill that
+        // leaves the bin nearly full, so the free phase overflows twice.
+        let ptrs: Vec<usize> = (0..cap + 1).map(|_| heap.malloc(64) as usize).collect();
+        assert!(ptrs.iter().all(|&p| p != 0));
+        for &p in &ptrs {
+            heap.free(p as *mut u8);
+        }
+        let s = heap.slow_stats();
+        let flushes = s.cache_flushes.load(Ordering::Relaxed);
+        assert!(flushes > 0);
+        assert_eq!(
+            s.half_flushes.load(Ordering::Relaxed),
+            flushes,
+            "every overflow must use the half policy"
+        );
+        assert_eq!(
+            s.avg_flush_batch(),
+            (cap / 2) as f64,
+            "each flush must return exactly half the bin, not all of it"
+        );
+    }
+
+    #[test]
+    fn sharded_fill_counters_account_home_and_steals() {
+        // Single-threaded: every partial pop is a home hit, never a steal.
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
+        let mut batch: Vec<usize> = ptrs[..10].to_vec();
+        heap.inner.flush_blocks(&mut batch);
+        let q = heap.malloc(64); // refills from the partial superblock
+        assert!(!q.is_null());
+        let s = heap.slow_stats();
+        assert_eq!(s.partial_pops_home.load(Ordering::Relaxed), 1);
+        assert_eq!(s.partial_steals.load(Ordering::Relaxed), 0);
+        assert_eq!(s.partial_shard_pushes.load(Ordering::Relaxed), 1);
+        assert_eq!(s.steal_rate(), 0.0);
     }
 
     #[test]

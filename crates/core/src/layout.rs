@@ -21,8 +21,13 @@
 
 use crate::size_class::SB_SIZE;
 
-/// Magic number identifying a Ralloc heap image ("RALLOC\0\1").
-pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_01;
+/// Magic number identifying a Ralloc heap image ("RALLOC\0" + format
+/// version). The low byte is the metadata-layout version and must be
+/// bumped whenever the metadata region's layout changes, so a clean
+/// image from an older build is re-initialized instead of silently
+/// misread. v1: single partial-list head per class. v2: `MAX_SHARDS`
+/// head slots per class (this build).
+pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_02;
 
 /// Descriptor stride in bytes (one cache line, paper §4.2).
 pub const DESC_SIZE: usize = 64;
@@ -50,13 +55,19 @@ pub const FREE_LIST_OFF: usize = 40;
 /// Persistent roots: `NUM_ROOTS` u64 slots, each an offset+1 into the
 /// superblock region (0 = null). Persisted on `set_root`.
 pub const ROOTS_OFF: usize = 64;
-/// Per-class partial-list heads (`Counted`), 40 slots. Transient.
+/// Hard ceiling on partial-list shards per size class. The metadata
+/// region reserves head slots for this many; the *live* shard count is a
+/// runtime config (`RallocConfig::partial_shards`) clamped to it.
+pub const MAX_SHARDS: usize = 16;
+/// Per-class, per-shard partial-list heads (`Counted`),
+/// `40 * MAX_SHARDS` slots. Transient: reset and rebuilt by recovery, so
+/// the live shard count may change between runs.
 pub const PARTIAL_HEADS_OFF: usize = ROOTS_OFF + NUM_ROOTS * 8;
 
 /// Total metadata-region size (fixed, independent of heap size).
 pub const META_SIZE: usize = 16 * 1024;
 
-const _: () = assert!(PARTIAL_HEADS_OFF + 40 * 8 <= META_SIZE);
+const _: () = assert!(PARTIAL_HEADS_OFF + 40 * MAX_SHARDS * 8 <= META_SIZE);
 
 /// Derived region offsets for a pool of a given length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,11 +141,12 @@ impl Geometry {
         ROOTS_OFF + i * 8
     }
 
-    /// Byte offset of the partial-list head for `class`.
+    /// Byte offset of the partial-list head for shard `shard` of `class`.
     #[inline]
-    pub fn partial_head(&self, class: u32) -> usize {
+    pub fn partial_head(&self, class: u32, shard: u32) -> usize {
         debug_assert!(class < 40);
-        PARTIAL_HEADS_OFF + class as usize * 8
+        debug_assert!((shard as usize) < MAX_SHARDS);
+        PARTIAL_HEADS_OFF + (class as usize * MAX_SHARDS + shard as usize) * 8
     }
 }
 
@@ -189,5 +201,19 @@ mod tests {
     #[should_panic]
     fn tiny_pool_rejected() {
         Geometry::from_pool_len(1024);
+    }
+
+    #[test]
+    fn partial_shard_heads_are_disjoint_and_in_metadata() {
+        let g = Geometry::from_pool_len(8 << 20);
+        let mut seen = std::collections::HashSet::new();
+        for class in 0..40u32 {
+            for shard in 0..MAX_SHARDS as u32 {
+                let off = g.partial_head(class, shard);
+                assert!(off >= PARTIAL_HEADS_OFF && off + 8 <= META_SIZE);
+                assert_eq!(off % 8, 0);
+                assert!(seen.insert(off), "head slot reused: class {class} shard {shard}");
+            }
+        }
     }
 }

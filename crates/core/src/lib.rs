@@ -36,10 +36,11 @@
 //! | [`layout`] | §4.2, Fig. 2 | metadata/descriptor/superblock regions |
 //! | [`descriptor`] | §4.2 | per-superblock descriptors |
 //! | [`lists`] | §4.2 | ABA-counted Treiber stacks of descriptors |
+//! | [`shard`] | beyond §4.2 | sharded partial lists + work stealing |
 //! | `tcache` | §4.2/§4.4 | transient thread-local caches |
 //! | [`heap`] | §4.1–§4.4 | malloc/free/roots/init/close |
 //! | [`gc`] | §4.5.1 | filter functions & tracing |
-//! | [`recovery`] | §4.5 | offline GC + metadata reconstruction |
+//! | [`recovery`] | §4.5 | offline GC + shard-aware reconstruction |
 
 pub mod anchor;
 pub mod checker;
@@ -49,6 +50,7 @@ pub mod heap;
 pub mod layout;
 pub mod lists;
 pub mod recovery;
+pub mod shard;
 pub mod size_class;
 mod tcache;
 
@@ -400,6 +402,24 @@ mod tests {
         // The heap is immediately usable without recovery.
         let r = heap2.malloc(64);
         assert!(!r.is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "metadata-format version")]
+    fn downlevel_image_version_is_refused_not_erased() {
+        let heap = small_heap();
+        heap.close().unwrap();
+        let mut image = heap.pool().persistent_image();
+        image[0] = 1; // little-endian low byte of MAGIC = layout version
+        let _ = Ralloc::from_image(&image, RallocConfig::default());
+    }
+
+    #[test]
+    fn non_ralloc_image_is_initialized_fresh() {
+        let image = vec![0u8; 4 << 20];
+        let (heap, dirty) = Ralloc::from_image(&image, RallocConfig::default());
+        assert!(!dirty);
+        assert!(!heap.malloc(64).is_null());
     }
 
     #[test]

@@ -26,6 +26,20 @@
 //! lock-free Treiber stacks used online, so no extra synchronization is
 //! needed.
 //!
+//! ## Shard-aware rebuild (steps 8–9)
+//!
+//! The partial lists being rebuilt are *sharded* ([`crate::shard`]):
+//! every partial superblock goes to shard
+//! [`place_superblock`](crate::shard::place_superblock)`(sb, S)`, a pure
+//! function of the superblock index, so the rebuilt state is *born
+//! sharded* and identical for any worker count. Each sweep worker
+//! accumulates its range's descriptors into local per-(class, shard)
+//! batches and publishes each batch with a **single** CAS
+//! ([`DescList::splice_slice`]); the publication cost is O(workers ×
+//! non-empty shards), not O(superblocks) — no CAS storm on a global head
+//! at the end of recovery, which is exactly the failure mode a
+//! single-list rebuild would reintroduce at scale.
+//!
 //! ## Large-block conflict rule (beyond the paper)
 //!
 //! Conservative tracing can mark a *stale* large-block head (a block that
@@ -48,6 +62,7 @@ use crate::gc::{MarkSet, TraceFn, Tracer};
 use crate::heap::HeapInner;
 use crate::layout::NUM_ROOTS;
 use crate::lists::DescList;
+use crate::shard::{place_superblock, ShardedPartial};
 use crate::size_class::{class_block_size, class_max_count, NUM_CLASSES};
 
 /// What recovery found and rebuilt.
@@ -72,6 +87,8 @@ pub struct RecoveryStats {
     pub conservative_candidates: u64,
     /// Worker threads used (1 = the paper's sequential recovery).
     pub threads: usize,
+    /// Partial-list shards the rebuilt lists were partitioned into.
+    pub shards: u32,
     /// Wall-clock recovery time (the quantity of paper Figure 6).
     pub duration: Duration,
 }
@@ -90,10 +107,12 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     let threads = threads.max(1);
 
     // Steps 2-3: empty transient lists (thread caches were invalidated by
-    // the crash's generation bump; on a dirty open none exist yet).
+    // the crash's generation bump; on a dirty open none exist yet). Every
+    // reserved shard head is reset, not just the live ones — the previous
+    // run may have used a different shard count.
     DescList::free_list(geo).reset(pool);
     for class in 0..NUM_CLASSES as u32 {
-        DescList::partial_list(geo, class).reset(pool);
+        ShardedPartial::new(class, inner.shards()).reset_all(pool, geo);
     }
 
     // Gather the registered roots (step 4 already happened via get_root).
@@ -154,6 +173,7 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
         conservative_words_scanned: cons_words,
         conservative_candidates: cons_hits,
         threads,
+        shards: inner.shards(),
         ..Default::default()
     };
 
@@ -241,7 +261,12 @@ fn recount(marks: &mut MarkSet) {
 
 /// Rebuild descriptors `lo..hi`: per-superblock free chains, anchors, and
 /// list membership (steps 6-9 for a slice of the heap). Safe to run
-/// concurrently over disjoint ranges — the global lists are lock-free.
+/// concurrently over disjoint ranges — each worker accumulates its list
+/// publications into local batches and splices every batch with one CAS
+/// on the (lock-free) shared heads, so workers contend O(1) times per
+/// list rather than once per descriptor. Partial superblocks are placed
+/// on shard `place_superblock(i, S)`, a pure function of the index, so
+/// any worker count rebuilds the identical sharded partition.
 #[allow(clippy::needless_range_loop)] // `i` is a superblock index, not just a slice cursor
 fn sweep_range(
     inner: &HeapInner,
@@ -253,8 +278,10 @@ fn sweep_range(
     let pool = inner.pool();
     let geo = inner.geo();
     let used = inner.used_sb();
-    let free_list = DescList::free_list(geo);
+    let shards = inner.shards() as usize;
     let (mut frees, mut partials, mut fulls) = (0, 0, 0);
+    let mut free_batch: Vec<u32> = Vec::new();
+    let mut partial_batches: Vec<Vec<u32>> = vec![Vec::new(); NUM_CLASSES * shards];
     for i in lo..hi {
         let d = Desc::new(pool, geo, i as u32);
         if claimed[i] {
@@ -303,11 +330,12 @@ fn sweep_range(
                 d.set_anchor(anchor, Ordering::Relaxed);
                 match anchor.state {
                     SbState::Empty => {
-                        free_list.push(pool, geo, i as u32);
+                        free_batch.push(i as u32);
                         frees += 1;
                     }
                     SbState::Partial => {
-                        DescList::partial_list(geo, class).push(pool, geo, i as u32);
+                        let s = place_superblock(i, shards as u32) as usize;
+                        partial_batches[class as usize * shards + s].push(i as u32);
                         partials += 1;
                     }
                     SbState::Full => fulls += 1,
@@ -320,11 +348,19 @@ fn sweep_range(
                     Anchor { avail: 0, count: 0, state: SbState::Empty },
                     Ordering::Relaxed,
                 );
-                free_list.push(pool, geo, i as u32);
+                free_batch.push(i as u32);
                 frees += 1;
             }
         }
     }
+    // Publish: one CAS per non-empty batch, O(workers) total per list.
+    for (slot, batch) in partial_batches.iter().enumerate() {
+        if !batch.is_empty() {
+            let (class, s) = ((slot / shards) as u32, (slot % shards) as u32);
+            DescList::partial_shard(geo, class, s).splice_slice(pool, geo, batch);
+        }
+    }
+    DescList::free_list(geo).splice_slice(pool, geo, &free_batch);
     (frees, partials, fulls)
 }
 #[cfg(test)]

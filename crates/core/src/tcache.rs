@@ -125,6 +125,14 @@ impl CacheBin {
     pub fn clear(&mut self) {
         self.len = 0;
     }
+
+    /// Drop the oldest `n` entries (after a partial flush took ownership
+    /// of `slots[..n]`), sliding the kept LIFO tail down.
+    pub fn drain_front(&mut self, n: usize) {
+        debug_assert!(n <= self.len as usize);
+        self.slots.copy_within(n..self.len as usize, 0);
+        self.len -= n as u32;
+    }
 }
 
 /// Per-heap, per-thread cache set.
@@ -303,6 +311,23 @@ mod tests {
         bin.clear();
         assert_eq!(bin.len(), 0);
         assert!(!bin.is_full());
+    }
+
+    #[test]
+    fn drain_front_keeps_the_lifo_tail() {
+        let mut bin = CacheBin::new();
+        bin.ensure_capacity(4);
+        for a in [8usize, 16, 24, 32] {
+            bin.push(a);
+        }
+        bin.drain_front(2); // oldest two (8, 16) flushed away
+        assert_eq!(bin.len(), 2);
+        assert_eq!(bin.pop(), Some(32));
+        assert_eq!(bin.pop(), Some(24));
+        assert_eq!(bin.pop(), None);
+        bin.push(40);
+        bin.drain_front(0);
+        assert_eq!(bin.pop(), Some(40));
     }
 
     #[test]

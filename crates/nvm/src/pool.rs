@@ -215,16 +215,17 @@ impl PmemPool {
         let first = line_down(off);
         let last = line_up(off + len);
         let lines = (last - first) / CACHE_LINE;
-        self.stats.record_flush(lines);
         if let Some(inj) = &self.injector {
             inj.on_event();
         }
-        match self.mode {
+        // One flush call covers one contiguous line run; adjacent CLWBs
+        // pipeline, so the model charges once per run, not per line.
+        let charged = match self.mode {
             Mode::Direct => {
                 // The data already lives in (cache-coherent) DRAM; charge
                 // the modelled latency and compile-time order the stores.
                 std::sync::atomic::compiler_fence(Ordering::SeqCst);
-                self.flush_model.charge_flush(lines);
+                self.flush_model.charge_flush_run(lines)
             }
             Mode::Tracked => {
                 let mut st = self.tracked.as_ref().unwrap().lock();
@@ -243,21 +244,21 @@ impl PmemPool {
                     }
                     st.pending.insert(line, buf);
                 }
-                self.flush_model.charge_flush(lines);
+                self.flush_model.charge_flush_run(lines)
             }
-        }
+        };
+        self.stats.record_flush(lines, charged);
     }
 
     /// `sfence`-equivalent: all previously flushed lines become persistent.
     pub fn fence(&self) {
-        self.stats.record_fence();
         if let Some(inj) = &self.injector {
             inj.on_event();
         }
-        match self.mode {
+        let charged = match self.mode {
             Mode::Direct => {
                 std::sync::atomic::fence(Ordering::SeqCst);
-                self.flush_model.charge_fence();
+                self.flush_model.charge_fence()
             }
             Mode::Tracked => {
                 let mut st = self.tracked.as_ref().unwrap().lock();
@@ -265,9 +266,10 @@ impl PmemPool {
                 for (line, buf) in pending {
                     st.shadow[line..line + CACHE_LINE].copy_from_slice(&buf);
                 }
-                self.flush_model.charge_fence();
+                self.flush_model.charge_fence()
             }
-        }
+        };
+        self.stats.record_fence(charged);
     }
 
     /// Flush + fence in one call (the common "persist" idiom).
@@ -590,5 +592,30 @@ mod tests {
         assert_eq!(s.flush_calls, 2);
         assert_eq!(s.flush_lines, 1 + 2);
         assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn adjacent_lines_in_one_persist_charged_once_per_run() {
+        // CLWB pipelining: one persist of 4 adjacent lines is charged as
+        // ONE full flush plus 3 cheap pipelined followers + one fence —
+        // not 4 independent full flushes.
+        let m = FlushModel::optane();
+        let pool = PmemPool::with_options(4096, Mode::Direct, m, None);
+        let before = pool.stats().snapshot();
+        pool.persist(0, 4 * CACHE_LINE);
+        let d = pool.stats().snapshot().since(&before);
+        assert_eq!(d.flush_lines, 4, "all four lines flushed");
+        assert_eq!(d.flush_calls, 1, "one contiguous run");
+        let run = m.flush_ns + 3 * m.pipelined_line_ns;
+        assert!(run < 4 * m.flush_ns, "pipelined run must beat per-line charging");
+        assert_eq!(
+            d.modeled_ns,
+            run + m.fence_ns,
+            "a 4-line run must cost one full charge + pipelined followers"
+        );
+        // A *separate* persist is a new run and pays the full charge again.
+        pool.persist(0, CACHE_LINE);
+        let d2 = pool.stats().snapshot().since(&before);
+        assert_eq!(d2.modeled_ns, run + m.flush_ns + 2 * m.fence_ns);
     }
 }

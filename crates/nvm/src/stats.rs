@@ -14,6 +14,7 @@ pub struct PmemStats {
     flush_lines: AtomicU64,
     flush_calls: AtomicU64,
     fences: AtomicU64,
+    modeled_ns: AtomicU64,
 }
 
 /// A point-in-time copy of [`PmemStats`].
@@ -21,20 +22,27 @@ pub struct PmemStats {
 pub struct PmemStatsSnapshot {
     /// Total cache lines flushed.
     pub flush_lines: u64,
-    /// Total flush calls (a call may cover several lines).
+    /// Total flush calls. Each call covers one contiguous line run, and
+    /// the latency model charges per *run*, not per line (CLWB
+    /// pipelining), so this is also the number of flush charges.
     pub flush_calls: u64,
     /// Total fences issued.
     pub fences: u64,
+    /// Total nanoseconds the [`crate::FlushModel`] charged (flushes +
+    /// fences). Lets tests assert charging policy without timing races.
+    pub modeled_ns: u64,
 }
 
 impl PmemStats {
-    pub(crate) fn record_flush(&self, lines: usize) {
+    pub(crate) fn record_flush(&self, lines: usize, charged_ns: u64) {
         self.flush_lines.fetch_add(lines as u64, Ordering::Relaxed);
         self.flush_calls.fetch_add(1, Ordering::Relaxed);
+        self.modeled_ns.fetch_add(charged_ns, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_fence(&self) {
+    pub(crate) fn record_fence(&self, charged_ns: u64) {
         self.fences.fetch_add(1, Ordering::Relaxed);
+        self.modeled_ns.fetch_add(charged_ns, Ordering::Relaxed);
     }
 
     /// Read all counters.
@@ -43,6 +51,7 @@ impl PmemStats {
             flush_lines: self.flush_lines.load(Ordering::Relaxed),
             flush_calls: self.flush_calls.load(Ordering::Relaxed),
             fences: self.fences.load(Ordering::Relaxed),
+            modeled_ns: self.modeled_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -64,6 +73,7 @@ impl PmemStatsSnapshot {
             flush_lines: self.flush_lines - earlier.flush_lines,
             flush_calls: self.flush_calls - earlier.flush_calls,
             fences: self.fences - earlier.fences,
+            modeled_ns: self.modeled_ns - earlier.modeled_ns,
         }
     }
 }
@@ -75,26 +85,28 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = PmemStats::default();
-        s.record_flush(3);
-        s.record_flush(1);
-        s.record_fence();
+        s.record_flush(3, 20);
+        s.record_flush(1, 20);
+        s.record_fence(80);
         let snap = s.snapshot();
         assert_eq!(snap.flush_lines, 4);
         assert_eq!(snap.flush_calls, 2);
         assert_eq!(snap.fences, 1);
+        assert_eq!(snap.modeled_ns, 120);
     }
 
     #[test]
     fn snapshot_since() {
         let s = PmemStats::default();
-        s.record_flush(2);
+        s.record_flush(2, 20);
         let a = s.snapshot();
-        s.record_flush(5);
-        s.record_fence();
+        s.record_flush(5, 20);
+        s.record_fence(80);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.flush_lines, 5);
         assert_eq!(d.flush_calls, 1);
         assert_eq!(d.fences, 1);
+        assert_eq!(d.modeled_ns, 100);
     }
 }

@@ -83,13 +83,22 @@ fn pmdk_concurrent_signatures_hold() {
 }
 
 #[test]
-#[ignore = "known-flaky since the seed: footprint plateaus but later than \
-            the +8 allowance on some interleavings; run with --ignored. \
-            Tracked in ROADMAP 'Churn footprint fixpoint'."]
+#[ignore = "known-flaky since the seed: the footprint plateaus by round 2 on \
+            most runs but takes one late +10..+19 superblock step on ~1/3 of \
+            interleavings, under every policy (whole-bin or flush-half, 1 or \
+            4 shards — measurements in ROADMAP 'Churn footprint fixpoint'). \
+            Run with --ignored."]
 fn ralloc_leakage_freedom_under_churn() {
     // The heap footprint must reach a fixed point when the live set is
     // bounded (Theorem 5.2: freed blocks become available for reuse).
-    let heap = ralloc::Ralloc::create(64 << 20, ralloc::RallocConfig::default());
+    // Probed with the Makalu-style flush-half policy (keep half of every
+    // overflowing bin cached): it damps the flush/refill oscillation but
+    // does not remove the rare late carve step — see the module ROADMAP
+    // entry for the measured trajectories.
+    let heap = ralloc::Ralloc::create(
+        64 << 20,
+        ralloc::RallocConfig { flush_half: true, ..Default::default() },
+    );
     let a: DynAlloc = std::sync::Arc::new(heap.clone());
     // Warm up: grows the heap to its steady footprint (live set + one
     // superblock of thread-cache retention per class per thread).

@@ -149,6 +149,49 @@ fn repeated_crashes_converge() {
 }
 
 #[test]
+fn injected_crash_sweep_recovers_with_parallel_workers() {
+    // Same adversarial crash points as the sequential sweep above, but
+    // recovery runs with multiple workers: the parallel mark + sharded
+    // sweep must satisfy the identical durable-prefix contract.
+    let total_events = {
+        let (heap, inj) = tracked_with_injector();
+        let stack = PStack::create(&heap, 0);
+        let before = inj.observed();
+        for i in 0..40 {
+            stack.push(i);
+        }
+        inj.observed() - before
+    };
+    for budget in (1..total_events).step_by(13) {
+        let (heap, inj) = tracked_with_injector();
+        let stack = PStack::create(&heap, 0);
+        let crashed = run_until_crash(&inj, budget, || {
+            for i in 0..40 {
+                stack.push(i);
+            }
+        });
+        assert!(crashed, "budget {budget} did not crash");
+        drop(stack);
+        heap.crash_simulated();
+        let stats = heap.recover_parallel(3);
+        assert_eq!(stats.threads, 3);
+        let stack = PStack::attach(&heap, 0).expect("head cell persisted at create");
+        let vals = stack.snapshot();
+        let n = vals.len() as u64;
+        assert!(n <= 40, "budget {budget}: more elements than pushed");
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(*v, n - 1 - i as u64, "budget {budget}: stack order corrupted");
+        }
+        for _ in 0..100 {
+            assert!(!heap.malloc(16).is_null(), "budget {budget}: heap broken");
+        }
+        assert_eq!(stack.snapshot(), vals, "budget {budget}: allocation corrupted the stack");
+        let report = ralloc::check_heap(&heap);
+        assert!(report.is_consistent(), "budget {budget}: {:?}", report.violations);
+    }
+}
+
+#[test]
 fn random_eviction_crash_is_also_recoverable() {
     // Real hardware may persist *more* than what was fenced (spontaneous
     // cache eviction); recovery must tolerate that too.
