@@ -1,0 +1,115 @@
+//! Growth-path microbenchmark for the reserve/commit capacity model.
+//!
+//! A heap committed at a tiny initial capacity is driven through its full
+//! reserved span by a leak-everything allocation sweep, measuring
+//!
+//! * **time per grow** — the latency of the mallocs that performed a
+//!   frontier grow (commit + persisted frontier word), vs. the ordinary
+//!   slow-path mallocs around them, and
+//! * **alloc throughput while growing** — the same sweep against a
+//!   fully-precommitted control heap of the same final size, so the cost
+//!   of growth shows up as a throughput ratio (≈1.0 means growth is
+//!   genuinely cold-path only).
+//!
+//! Emits `BENCH_grow.json` at the workspace root (`host_cores` tagged,
+//! like the other bench artifacts). Env knobs: `MICRO_GROW_MAX_MB`
+//! (default 256), `MICRO_GROW_INIT_MB` (default 4), `MICRO_GROW_REPS`
+//! (default 3; the JSON keeps the best rep of each configuration).
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use ralloc::{Ralloc, RallocConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct SweepResult {
+    mops: f64,
+    grows: u64,
+    mean_grow_us: f64,
+    max_grow_us: f64,
+}
+
+/// Allocate (and leak) 4 KiB blocks until the heap refuses, timing each
+/// malloc and attributing the ones that moved the grow counter.
+fn sweep(heap: &Ralloc) -> SweepResult {
+    let slow = heap.slow_stats();
+    let mut grow_ns: Vec<u64> = Vec::new();
+    let mut grows_before = slow.heap_grows.load(Ordering::Relaxed);
+    let mut allocs = 0u64;
+    let t0 = Instant::now();
+    loop {
+        let m0 = Instant::now();
+        let p = heap.malloc(4096);
+        let dt = m0.elapsed().as_nanos() as u64;
+        if p.is_null() {
+            break;
+        }
+        allocs += 1;
+        let grows_now = slow.heap_grows.load(Ordering::Relaxed);
+        if grows_now != grows_before {
+            grows_before = grows_now;
+            grow_ns.push(dt);
+        }
+    }
+    let total = t0.elapsed().as_secs_f64();
+    let grows = grow_ns.len() as u64;
+    let sum: u64 = grow_ns.iter().sum();
+    SweepResult {
+        mops: allocs as f64 / total / 1e6,
+        grows,
+        mean_grow_us: if grows == 0 { 0.0 } else { sum as f64 / grows as f64 / 1e3 },
+        max_grow_us: grow_ns.iter().max().copied().unwrap_or(0) as f64 / 1e3,
+    }
+}
+
+fn main() {
+    let max_mb = env_usize("MICRO_GROW_MAX_MB", 256);
+    let init_mb = env_usize("MICRO_GROW_INIT_MB", 4);
+    let reps = env_usize("MICRO_GROW_REPS", 3).max(1);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut best_grow: Option<SweepResult> = None;
+    let mut best_pre = 0.0f64;
+    for _ in 0..reps {
+        let growing = Ralloc::create(
+            init_mb << 20,
+            RallocConfig {
+                initial_capacity: Some(init_mb << 20),
+                max_capacity: Some(max_mb << 20),
+                ..Default::default()
+            },
+        );
+        let r = sweep(&growing);
+        assert!(r.grows > 0, "sweep must actually grow the heap");
+        if best_grow.as_ref().is_none_or(|b| r.mops > b.mops) {
+            best_grow = Some(r);
+        }
+        // Control: same reserved span, fully committed upfront.
+        let pre = Ralloc::create(max_mb << 20, RallocConfig::default());
+        best_pre = best_pre.max(sweep(&pre).mops);
+    }
+    let g = best_grow.unwrap();
+    let ratio = g.mops / best_pre;
+    println!(
+        "grow sweep {init_mb}M->{max_mb}M: {:.2} Mops/s over {} grows \
+         (mean {:.1} us/grow, max {:.1} us); precommitted control {:.2} Mops/s (ratio {:.3})",
+        g.mops, g.grows, g.mean_grow_us, g.max_grow_us, best_pre, ratio
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"micro_grow\",\n  \"unit\": \"Mops/s 4 KiB leak-sweep mallocs\",\n  \
+         \"init_mb\": {init_mb},\n  \"max_mb\": {max_mb},\n  \"host_cores\": {cores},\n  \
+         \"results\": {{\n    \"grows\": {},\n    \"mean_grow_us\": {:.2},\n    \
+         \"max_grow_us\": {:.2},\n    \"mops_growing\": {:.3},\n    \
+         \"mops_precommitted\": {:.3},\n    \"growing_vs_precommitted\": {:.4}\n  }}\n}}\n",
+        g.grows, g.mean_grow_us, g.max_grow_us, g.mops, best_pre, ratio
+    );
+    // `CARGO_MANIFEST_DIR` is crates/bench; the JSON lives at the root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_grow.json");
+    std::fs::write(&path, json).expect("write BENCH_grow.json");
+    println!("wrote {}", path.display());
+}

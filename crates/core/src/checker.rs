@@ -78,9 +78,13 @@ pub fn check_heap(heap: &Ralloc) -> CheckReport {
     let used = inner.used_sb();
     let mut report = CheckReport { superblocks: used, ..Default::default() };
 
-    // Rule 1: geometry.
+    // Rule 1: geometry, including the reserve/commit frontier: the
+    // persisted frontier word must lie between the descriptor region's
+    // end and the reserved span, never exceed what the pool actually has
+    // committed, and must cover every carved superblock (the grow
+    // protocol persists the frontier before any `used` bump into it).
     // SAFETY: header words.
-    unsafe {
+    let committed_word = unsafe {
         if pool.read_u64(crate::layout::MAGIC_OFF) != crate::layout::MAGIC {
             report.violate("geometry", "bad magic".into());
         }
@@ -90,9 +94,40 @@ pub fn check_heap(heap: &Ralloc) -> CheckReport {
         if pool.read_u64(crate::layout::MAX_SB_OFF) != geo.max_sb as u64 {
             report.violate("geometry", "capacity mismatch".into());
         }
-    }
+        pool.read_u64(crate::layout::COMMITTED_LEN_OFF) as usize
+    };
     if used > geo.max_sb {
         report.violate("geometry", format!("used {used} exceeds capacity {}", geo.max_sb));
+    }
+    if committed_word < geo.min_committed() || committed_word > pool.len() {
+        report.violate(
+            "geometry",
+            format!(
+                "committed frontier {committed_word} outside [{}, {}]",
+                geo.min_committed(),
+                pool.len()
+            ),
+        );
+    } else {
+        if committed_word > pool.committed_len() {
+            report.violate(
+                "geometry",
+                format!(
+                    "persisted frontier {committed_word} exceeds the pool's committed \
+                     prefix ({})",
+                    pool.committed_len()
+                ),
+            );
+        }
+        if used > geo.committed_sb(committed_word) {
+            report.violate(
+                "geometry",
+                format!(
+                    "used {used} superblocks but the persisted frontier covers only {}",
+                    geo.committed_sb(committed_word)
+                ),
+            );
+        }
     }
 
     // Collect list membership first.

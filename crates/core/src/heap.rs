@@ -29,7 +29,8 @@ use crate::anchor::{Anchor, SbState};
 use crate::descriptor::Desc;
 use crate::gc::{trace_thunk, Trace, TraceFn};
 use crate::layout::{
-    Geometry, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
+    Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF,
+    USED_SB_OFF,
 };
 use crate::lists::DescList;
 use crate::shard::{self, ShardedPartial};
@@ -83,6 +84,22 @@ pub struct RallocConfig {
     /// blocks cached, damping the refill/flush oscillation that inflates
     /// the footprint under churn. Env override: `RALLOC_FLUSH_HALF=1`/`0`.
     pub flush_half: bool,
+    /// Superblock-region bytes committed at creation. `None` (default)
+    /// commits the full reserved capacity upfront — the historical
+    /// one-fixed-pool behavior. A smaller value makes the heap start
+    /// small and grow its committed frontier on demand (cold path only).
+    /// Env override: `RALLOC_INIT_CAP` (bytes, `K`/`M`/`G` suffixes ok).
+    pub initial_capacity: Option<usize>,
+    /// Ceiling on the superblock-region capacity: the *reserved* virtual
+    /// span, fixed for the heap's life (geometry is computed from it
+    /// once). `None` reserves exactly the `create` capacity argument.
+    /// Env override: `RALLOC_MAX_CAP`.
+    pub max_capacity: Option<usize>,
+    /// Frontier doubling policy: each grow multiplies the committed
+    /// superblock count by this factor (clamped to at least one fresh
+    /// superblock of progress and to the reserved ceiling). Values are
+    /// clamped to `1.0..=8.0`; the default 2.0 gives O(log n) grows.
+    pub growth_factor: f64,
 }
 
 impl Default for RallocConfig {
@@ -94,6 +111,9 @@ impl Default for RallocConfig {
             transient: false,
             partial_shards: DEFAULT_SHARDS,
             flush_half: false,
+            initial_capacity: None,
+            max_capacity: None,
+            growth_factor: 2.0,
         }
     }
 }
@@ -138,9 +158,21 @@ pub struct SlowStats {
     pub flush_anchor_cas: AtomicU64,
     /// Superblocks carved by expanding `used`.
     pub sb_carved: AtomicU64,
+    /// Committed-frontier growths (cold path: each one is a commit + one
+    /// persisted metadata word).
+    pub heap_grows: AtomicU64,
     /// Fully-empty superblocks reclaimed from partial lists instead of
     /// carving fresh space.
     pub sb_scavenged: AtomicU64,
+    /// Fills served by the free-list re-check that follows a failed
+    /// scavenge (a concurrent flush/scavenge replenished the list while
+    /// our scan was holding descriptors invisible).
+    pub free_recheck_hits: AtomicU64,
+    /// Open-addressing probes performed by bulk-flush partitioning.
+    /// Small batches use the in-place linear scan and count nothing;
+    /// for table-partitioned batches this stays O(batch len) no matter
+    /// how many superblocks the bin spans.
+    pub flush_partition_probes: AtomicU64,
     /// Large allocations served.
     pub large_allocs: AtomicU64,
     /// Fills served by popping the calling thread's *home* shard.
@@ -197,6 +229,15 @@ pub struct HeapInner {
     shards: u32,
     /// Return only half of an overflowing cache bin (Makalu-style).
     flush_half: bool,
+    /// Committed-frontier doubling factor (clamped at construction).
+    growth_factor: f64,
+    /// The frontier (bytes) that is both committed in the pool *and*
+    /// whose metadata word has been flushed and fenced. Carving reads
+    /// this, never the raw pool frontier: a grow publishes here only
+    /// after the frontier word's fence, so a persisted `used` can never
+    /// outrun a persisted frontier (the crash-recoverable ordering of
+    /// the grow protocol).
+    committed_safe: AtomicU64,
     /// Bumped by crash simulation so stale thread caches are discarded.
     generation: AtomicU64,
     closed: AtomicBool,
@@ -304,15 +345,88 @@ impl HeapInner {
         unsafe { self.pool.atomic_u64(USED_SB_OFF) }.load(Ordering::Acquire) as usize
     }
 
+    /// Superblocks the heap may carve without growing: the durable
+    /// committed frontier's coverage.
+    pub(crate) fn committed_sb(&self) -> usize {
+        self.geo.committed_sb(self.committed_safe.load(Ordering::Acquire) as usize)
+    }
+
+    /// Refresh the safe frontier from the durable frontier word (offline
+    /// use: recovery entry). After a crash the word holds the last fenced
+    /// value, which is always >= the published safe frontier, and an
+    /// eviction-style crash may even have persisted a *larger* word than
+    /// was ever published — both are valid committed space.
+    pub(crate) fn reload_frontier(&self) {
+        // SAFETY: metadata word.
+        let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) }.load(Ordering::Acquire);
+        self.committed_safe.fetch_max(word, Ordering::AcqRel);
+    }
+
+    /// Grow the committed frontier to cover at least `need_sb`
+    /// superblocks. Returns false only when `need_sb` exceeds the
+    /// reserved capacity (the heap's hard OOM).
+    ///
+    /// Crash-recoverable ordering, per growth step:
+    /// 1. `pool.commit_to` — the new space becomes addressable (pure
+    ///    mapping state, no durable effect);
+    /// 2. CAS-max the persisted frontier word, then flush + fence it;
+    /// 3. publish `committed_safe`, releasing carvers into the space.
+    ///
+    /// A crash after 1 loses nothing; after 2, recovery sees a larger
+    /// frontier with `used` still behind it (extra committed space,
+    /// never dangling state); only after 3 can a `used` bump covering
+    /// the new space be persisted — behind the already-durable frontier.
+    #[cold]
+    fn grow(&self, need_sb: usize) -> bool {
+        if need_sb > self.geo.max_sb {
+            return false;
+        }
+        loop {
+            let cur_sb = self.committed_sb();
+            if cur_sb >= need_sb {
+                return true;
+            }
+            // Doubling policy: geometric in superblocks, clamped to the
+            // request floor and the reserved ceiling.
+            let target_sb = ((cur_sb as f64 * self.growth_factor) as usize)
+                .max(need_sb)
+                .min(self.geo.max_sb);
+            let target = self.geo.committed_len_for_sb(target_sb);
+            self.pool.commit_to(target);
+            // SAFETY: metadata offset, 8-aligned.
+            let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) };
+            let mut w = word.load(Ordering::Acquire);
+            while w < target as u64 {
+                match word.compare_exchange(
+                    w,
+                    target as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => w = cur,
+                }
+            }
+            self.persist(COMMITTED_LEN_OFF, 8);
+            self.committed_safe.fetch_max(target as u64, Ordering::AcqRel);
+            self.slow.heap_grows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Expand the used prefix of the superblock region by `n` superblocks
-    /// (paper §4.3): CAS `used` upward, then flush+fence it.
+    /// (paper §4.3): CAS `used` upward, then flush+fence it. When the
+    /// committed frontier is in the way, grow it first (cold path); `None`
+    /// only at the reserved-capacity ceiling.
     fn carve(&self, n: usize) -> Option<u32> {
         // SAFETY: metadata offset, 8-aligned.
         let used = unsafe { self.pool.atomic_u64(USED_SB_OFF) };
         loop {
             let u = used.load(Ordering::Acquire);
-            if u as usize + n > self.geo.max_sb {
-                return None;
+            if u as usize + n > self.committed_sb() {
+                if !self.grow(u as usize + n) {
+                    return None; // out of reserved space
+                }
+                continue;
             }
             if used
                 .compare_exchange(u, u + n as u64, Ordering::AcqRel, Ordering::Acquire)
@@ -408,9 +522,21 @@ impl HeapInner {
             // one stranded on another class's partial list, or carve.
             let idx = match free.pop(&self.pool, &self.geo).or_else(|| self.scavenge()) {
                 Some(i) => i,
-                None => match self.carve(1) {
-                    Some(i) => i,
-                    None => return false, // out of persistent space
+                // A failed scavenge raced with every concurrent scan and
+                // flush: while scans hold popped descriptors they are
+                // invisible (the scavenge-invisibility window), and a
+                // flush may have retired a superblock to the free list
+                // after our first pop missed it. One re-check converts
+                // those races into reuse instead of a permanent carve.
+                None => match free.pop(&self.pool, &self.geo) {
+                    Some(i) => {
+                        self.slow.free_recheck_hits.fetch_add(1, Ordering::Relaxed);
+                        i
+                    }
+                    None => match self.carve(1) {
+                        Some(i) => i,
+                        None => return false, // out of persistent space
+                    },
                 },
             };
             let d = Desc::new(&self.pool, &self.geo, idx);
@@ -548,19 +674,35 @@ impl HeapInner {
     /// Return an arbitrary batch of blocks, grouping them by superblock
     /// so each touched superblock costs exactly one anchor CAS (LRMalloc's
     /// Flush). Reorders `blocks` in place while partitioning.
+    ///
+    /// The partition starts with the in-place, allocation-free linear
+    /// scan — bins overwhelmingly hold blocks of one or two superblocks,
+    /// so it normally finishes in a pass or two. Only when the batch
+    /// turns out to span *many* superblocks (heavy producer/consumer
+    /// bleed, where the scan would degrade to O(n·superblocks)) does the
+    /// remainder escalate to a small open-addressing group table,
+    /// bounding the whole partition at O(n)
+    /// ([`SlowStats::flush_partition_probes`] observes the table's work).
     pub(crate) fn flush_blocks(&self, blocks: &mut [usize]) {
+        /// Distinct superblocks the linear scan handles before the rest
+        /// of the batch escalates to the table: the scan's worst case is
+        /// then `MAX_LINEAR_GROUPS`·n, and typical bins never escalate.
+        const MAX_LINEAR_GROUPS: usize = 8;
         let base = self.pool.base() as usize;
         // One TLS lookup + hash for the whole batch, not per superblock.
         let home = self.home_shard();
         let mut i = 0;
+        let mut groups = 0;
         while i < blocks.len() {
+            if groups == MAX_LINEAR_GROUPS {
+                return self.flush_blocks_grouped(&blocks[i..], home);
+            }
             let sb = self
                 .geo
                 .sb_index_of(blocks[i] - base)
                 .expect("flush_blocks: foreign address");
             // Partition: move every block of this superblock into
-            // blocks[i..end]. Bins overwhelmingly hold blocks of one or
-            // two superblocks, so this scan rarely runs more than twice.
+            // blocks[i..end].
             let mut end = i + 1;
             for j in i + 1..blocks.len() {
                 if self.geo.sb_index_of(blocks[j] - base) == Some(sb) {
@@ -570,6 +712,63 @@ impl HeapInner {
             }
             self.push_batch(sb, &blocks[i..end], home);
             i = end;
+            groups += 1;
+        }
+    }
+
+    /// Table-based batch partition (the linear scan's escalation path):
+    /// one pass to chain blocks per superblock through an open-addressing
+    /// group table, one pass to hand each chain to
+    /// [`HeapInner::push_batch`]. O(n) expected — the table is sized at
+    /// 2× the batch so probe runs stay short.
+    fn flush_blocks_grouped(&self, blocks: &[usize], home: u32) {
+        const EMPTY: u32 = u32::MAX;
+        let base = self.pool.base() as usize;
+        let n = blocks.len();
+        let cap = (2 * n).next_power_of_two();
+        let mask = cap - 1;
+        // slot -> group index; group = (superblock, chain head into `next`).
+        let mut slots: Vec<u32> = vec![EMPTY; cap];
+        let mut groups: Vec<(usize, u32)> = Vec::new();
+        let mut next: Vec<u32> = vec![EMPTY; n];
+        let mut probes = 0u64;
+        for (i, &addr) in blocks.iter().enumerate() {
+            let sb = self
+                .geo
+                .sb_index_of(addr - base)
+                .expect("flush_blocks: foreign address");
+            let mut h =
+                ((sb as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask;
+            loop {
+                probes += 1;
+                match slots[h] {
+                    EMPTY => {
+                        slots[h] = groups.len() as u32;
+                        groups.push((sb, i as u32));
+                        break;
+                    }
+                    g if groups[g as usize].0 == sb => {
+                        next[i] = groups[g as usize].1;
+                        groups[g as usize].1 = i as u32;
+                        break;
+                    }
+                    _ => h = (h + 1) & mask,
+                }
+            }
+        }
+        self.slow.flush_partition_probes.fetch_add(probes, Ordering::Relaxed);
+        let mut scratch: Vec<usize> = Vec::with_capacity(n);
+        for &(sb, head) in &groups {
+            scratch.clear();
+            let mut i = head;
+            while i != EMPTY {
+                scratch.push(blocks[i as usize]);
+                i = next[i as usize];
+            }
+            // Chains are built newest-first; restore batch order so the
+            // pre-linked free chain matches the linear partition's.
+            scratch.reverse();
+            self.push_batch(sb, &scratch, home);
         }
     }
 
@@ -685,56 +884,116 @@ pub struct Ralloc {
 impl Ralloc {
     // ---------------------------------------------------------- creation
 
-    /// Create a fresh in-memory heap whose superblock region holds at
+    /// Create a fresh in-memory heap whose superblock region can hold at
     /// least `capacity` bytes.
+    ///
+    /// `capacity` (together with [`RallocConfig::max_capacity`] /
+    /// `RALLOC_MAX_CAP`, whichever is larger) fixes the heap's *reserved*
+    /// virtual span; [`RallocConfig::initial_capacity`] /
+    /// `RALLOC_INIT_CAP` choose how much of it is committed upfront
+    /// (default: all of it, the historical fixed-pool behavior). A heap
+    /// with a small initial commitment grows its frontier on demand and
+    /// only returns null once the *reserved* ceiling is exhausted.
     pub fn create(capacity: usize, cfg: RallocConfig) -> Ralloc {
-        let pool = PmemPool::with_options(
-            Geometry::pool_len_for_capacity(capacity),
+        Self::create_inner(capacity, cfg, None)
+    }
+
+    fn create_inner(capacity: usize, cfg: RallocConfig, file: Option<PathBuf>) -> Ralloc {
+        let max_cap = shard::env_size("RALLOC_MAX_CAP")
+            .or(cfg.max_capacity)
+            .unwrap_or(capacity)
+            .max(capacity);
+        let init_cap = shard::env_size("RALLOC_INIT_CAP")
+            .or(cfg.initial_capacity)
+            .unwrap_or(max_cap)
+            .min(max_cap);
+        let reserved = Geometry::pool_len_for_capacity(max_cap);
+        let geo = Geometry::from_pool_len(reserved);
+        let init_sb = init_cap.div_ceil(SB_SIZE).clamp(1, geo.max_sb);
+        let pool = PmemPool::with_reserve(
+            reserved,
+            geo.committed_len_for_sb(init_sb),
             cfg.mode,
             cfg.flush_model,
             cfg.injector.clone(),
         );
-        Self::fresh(pool, &cfg, None)
+        Self::fresh(pool, &cfg, file)
     }
 
     /// The paper's `init(path, size)`: open the heap file if it exists
     /// (returning whether a *dirty* restart — i.e. recovery — is needed),
     /// or create it fresh. A fresh or clean start returns `false`.
+    ///
+    /// The file holds only the committed prefix; the heap's reserved span
+    /// is re-read from the image header, so a grown heap reopens with the
+    /// same geometry and the same room to keep growing.
     pub fn open_file(
         path: &Path,
         capacity: usize,
         cfg: RallocConfig,
     ) -> io::Result<(Ralloc, bool)> {
         if path.exists() {
-            let pool =
-                PmemPool::load_with(path, cfg.mode, cfg.flush_model, cfg.injector.clone())?;
-            Ok(Self::adopt(pool, &cfg, Some(path.to_path_buf())))
-        } else {
-            let pool = PmemPool::with_options(
-                Geometry::pool_len_for_capacity(capacity),
+            let reserved = Self::peek_reserved_len(path).unwrap_or(0);
+            let pool = PmemPool::load_reserving(
+                path,
+                reserved,
                 cfg.mode,
                 cfg.flush_model,
                 cfg.injector.clone(),
-            );
-            Ok((Self::fresh(pool, &cfg, Some(path.to_path_buf())), false))
+            )?;
+            Ok(Self::adopt(pool, &cfg, Some(path.to_path_buf())))
+        } else {
+            Ok((Self::create_inner(capacity, cfg, Some(path.to_path_buf())), false))
+        }
+    }
+
+    /// Read the reserved span recorded in a heap file's header, if it is
+    /// a current-format Ralloc image.
+    fn peek_reserved_len(path: &Path) -> Option<usize> {
+        use std::io::Read;
+        let mut buf = [0u8; 16];
+        let mut f = std::fs::File::open(path).ok()?;
+        f.read_exact(&mut buf).ok()?;
+        if u64::from_ne_bytes(buf[0..8].try_into().unwrap()) != MAGIC {
+            return None;
+        }
+        Some(u64::from_ne_bytes(buf[8..16].try_into().unwrap()) as usize)
+    }
+
+    /// Reserved span recorded in an in-memory image header (the image
+    /// length when it is not a current-format Ralloc image).
+    fn image_reserved_len(image: &[u8]) -> usize {
+        if image.len() >= 16
+            && u64::from_ne_bytes(image[0..8].try_into().unwrap()) == MAGIC
+        {
+            (u64::from_ne_bytes(image[8..16].try_into().unwrap()) as usize).max(image.len())
+        } else {
+            image.len()
         }
     }
 
     /// Adopt a raw pool image (e.g. a crash image remapped at a new base
-    /// address). Returns the heap and whether it is dirty.
+    /// address). Returns the heap and whether it is dirty. The image may
+    /// be shorter than the heap's reserved span (only the committed
+    /// prefix is ever saved); the reservation is re-established from the
+    /// header.
     pub fn from_image(image: &[u8], cfg: RallocConfig) -> (Ralloc, bool) {
-        let pool = PmemPool::from_image(image, cfg.mode);
+        let pool =
+            PmemPool::from_image_reserving(image, Self::image_reserved_len(image), cfg.mode);
         Self::adopt(pool, &cfg, None)
     }
 
     fn fresh(pool: PmemPool, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
         let geo = Geometry::from_pool_len(pool.len());
+        // A fresh frontier must at least cover metadata + descriptors.
+        pool.commit_to(geo.min_committed());
         // SAFETY: fresh pool, exclusive access, metadata offsets in bounds.
         unsafe {
             pool.write_u64(MAGIC_OFF, MAGIC);
             pool.write_u64(POOL_LEN_OFF, pool.len() as u64);
             pool.write_u64(MAX_SB_OFF, geo.max_sb as u64);
             pool.write_u64(USED_SB_OFF, 0);
+            pool.write_u64(COMMITTED_LEN_OFF, pool.committed_len() as u64);
             pool.write_u64(DIRTY_OFF, 1);
         }
         let heap = Self::build(pool, geo, cfg, file);
@@ -765,9 +1024,46 @@ impl Ralloc {
             assert_eq!(pool.read_u64(POOL_LEN_OFF), pool.len() as u64, "pool length mismatch");
             assert_eq!(pool.read_u64(MAX_SB_OFF), geo.max_sb as u64, "geometry mismatch");
         }
+        // Frontier validation. The image's persisted frontier word must
+        // lie inside the image itself: a frontier past the end of the
+        // file means the file was truncated (or the word corrupted), and
+        // opening it would fabricate zeroed "committed" space where user
+        // data used to be — refuse rather than silently lose data. The
+        // image may legitimately extend *past* the word (a crash image
+        // captures the volatile frontier; the word records the last
+        // *fenced* one), in which case the word is healed upward: file
+        // content is durable by definition.
+        // SAFETY: header read.
+        let frontier = unsafe { pool.read_u64(COMMITTED_LEN_OFF) } as usize;
+        assert!(
+            frontier >= geo.min_committed() && frontier <= pool.len(),
+            "corrupt committed frontier {frontier} (reserved {})",
+            pool.len()
+        );
+        assert!(
+            frontier <= pool.committed_len(),
+            "image frontier {frontier} exceeds the file ({} bytes): refusing a \
+             truncated heap image",
+            pool.committed_len()
+        );
+        let used = unsafe { pool.read_u64(USED_SB_OFF) } as usize;
+        assert!(
+            used <= geo.committed_sb(pool.committed_len()),
+            "used superblocks ({used}) extend past the file's committed prefix: \
+             refusing a truncated heap image"
+        );
+        let healed = frontier < pool.committed_len();
+        if healed {
+            // SAFETY: 8-aligned metadata word.
+            unsafe { pool.atomic_u64(COMMITTED_LEN_OFF) }
+                .store(pool.committed_len() as u64, Ordering::Release);
+        }
         // SAFETY: 8-aligned metadata word.
         let dirty = unsafe { pool.atomic_u64(DIRTY_OFF) }.load(Ordering::Acquire) == 1;
         let heap = Self::build(pool, geo, cfg, file);
+        if healed {
+            heap.inner.persist(COMMITTED_LEN_OFF, 8);
+        }
         // Mark dirty for the duration of this run (the paper's robust
         // mutex acquire): any crash from here on requires recovery. This
         // must precede the stale-shard fold below — the fold mutates
@@ -788,6 +1084,10 @@ impl Ralloc {
     }
 
     fn build(pool: PmemPool, geo: Geometry, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
+        // Everything inside the pool's committed prefix is durable at
+        // build time (fresh: about to be persisted before first use;
+        // adopted: backed by the file), so carving may use all of it.
+        let committed_safe = AtomicU64::new(pool.committed_len() as u64);
         Ralloc {
             inner: Arc::new(HeapInner {
                 pool,
@@ -796,6 +1096,8 @@ impl Ralloc {
                 transient: cfg.transient,
                 shards: shard::effective_shards(cfg.partial_shards),
                 flush_half: shard::env_flag("RALLOC_FLUSH_HALF").unwrap_or(cfg.flush_half),
+                growth_factor: cfg.growth_factor.clamp(1.0, 8.0),
+                committed_safe,
                 generation: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
                 file,
@@ -952,7 +1254,7 @@ impl Ralloc {
         // SAFETY: metadata word.
         unsafe { inner.pool.atomic_u64(DIRTY_OFF) }.store(0, Ordering::Release);
         if !inner.transient {
-            inner.pool.flush(0, inner.pool.len());
+            inner.pool.flush(0, inner.pool.committed_len());
             inner.pool.fence();
         }
         if let Some(path) = &inner.file {
@@ -1017,6 +1319,18 @@ impl Ralloc {
         self.inner.used_sb()
     }
 
+    /// Superblocks covered by the durable committed frontier — carving
+    /// beyond this triggers a (cold-path) grow.
+    pub fn committed_superblocks(&self) -> usize {
+        self.inner.committed_sb()
+    }
+
+    /// The reserved ceiling in superblocks; the heap can never grow past
+    /// this (malloc returns null once it is exhausted).
+    pub fn max_superblocks(&self) -> usize {
+        self.inner.geo.max_sb
+    }
+
     /// Live partial-list shard count per size class (see [`crate::shard`]).
     pub fn partial_shards(&self) -> u32 {
         self.inner.shards()
@@ -1060,6 +1374,7 @@ impl std::fmt::Debug for Ralloc {
         f.debug_struct("Ralloc")
             .field("id", &self.inner.id)
             .field("used_sb", &self.inner.used_sb())
+            .field("committed_sb", &self.inner.committed_sb())
             .field("max_sb", &self.inner.geo.max_sb)
             .field("transient", &self.inner.transient)
             .finish()
@@ -1159,6 +1474,11 @@ mod batch_tests {
             "flushing {cap} same-superblock blocks must cost exactly one anchor CAS"
         );
         assert_eq!(s.avg_flush_batch(), cap as f64);
+        assert_eq!(
+            s.flush_partition_probes.load(Ordering::Relaxed),
+            0,
+            "a whole-bin flush of one superblock must stay on the linear path"
+        );
         for &p in &ptrs[cap + 1..] {
             heap.free(p as *mut u8);
         }
@@ -1254,6 +1574,132 @@ mod batch_tests {
         assert_eq!(s.partial_steals.load(Ordering::Relaxed), 0);
         assert_eq!(s.partial_shard_pushes.load(Ordering::Relaxed), 1);
         assert_eq!(s.steal_rate(), 0.0);
+    }
+
+    #[test]
+    fn small_initial_commit_grows_on_demand_and_stops_at_reserve() {
+        let heap = Ralloc::create(
+            4 << 20,
+            RallocConfig {
+                initial_capacity: Some(4 << 20),
+                max_capacity: Some(16 << 20),
+                ..Default::default()
+            },
+        );
+        let committed0 = heap.committed_superblocks();
+        assert!(committed0 < heap.max_superblocks(), "heap must start partially committed");
+        assert_eq!(heap.geometry().max_sb, heap.max_superblocks());
+        // Exhaust the initial commitment with large allocations (one
+        // superblock each, no cache retention) and keep going: the
+        // frontier must grow, transparently, with no null returns.
+        let mut held = Vec::new();
+        for _ in 0..heap.max_superblocks() {
+            let p = heap.malloc(SB_SIZE - 16);
+            assert!(!p.is_null(), "malloc must grow, not fail, below the reserve ceiling");
+            held.push(p);
+        }
+        let grows = heap.slow_stats().heap_grows.load(Ordering::Relaxed);
+        assert!(grows >= 2, "doubling from {committed0} sbs must take several grows: {grows}");
+        assert_eq!(heap.committed_superblocks(), heap.max_superblocks());
+        // The reserve ceiling is a hard OOM…
+        assert!(heap.malloc(SB_SIZE - 16).is_null());
+        // …but frees keep the heap serviceable (no corruption).
+        for p in held {
+            heap.free(p);
+        }
+        assert!(!heap.malloc(SB_SIZE - 16).is_null());
+        assert!(crate::checker::check_heap(&heap).is_consistent());
+    }
+
+    #[test]
+    fn default_config_commits_everything_upfront() {
+        // The historical fixed-pool behavior: no growth machinery on the
+        // hot path unless a config/env asks for a smaller initial commit.
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        assert_eq!(heap.committed_superblocks(), heap.max_superblocks());
+        let p = heap.malloc(64);
+        assert!(!p.is_null());
+        assert_eq!(heap.slow_stats().heap_grows.load(Ordering::Relaxed), 0);
+        heap.free(p);
+    }
+
+    #[test]
+    fn grow_persists_frontier_before_used() {
+        // In Tracked mode, after any quiescent moment the persisted
+        // frontier word must cover the persisted `used` — the ordering
+        // the grow protocol guarantees.
+        let heap = Ralloc::create(
+            2 << 20,
+            RallocConfig {
+                initial_capacity: Some(2 << 20),
+                max_capacity: Some(8 << 20),
+                ..RallocConfig::tracked()
+            },
+        );
+        let mut held = Vec::new();
+        for _ in 0..heap.max_superblocks() {
+            let p = heap.malloc(SB_SIZE / 2 + 1); // large path, 1 sb each
+            assert!(!p.is_null());
+            held.push(p);
+        }
+        assert!(heap.slow_stats().heap_grows.load(Ordering::Relaxed) >= 1);
+        heap.crash_simulated();
+        // Whatever survived: used within frontier, invariants hold.
+        let geo = heap.geometry();
+        // SAFETY: metadata words on a quiescent pool.
+        let (frontier, used) = unsafe {
+            (
+                heap.pool().read_u64(crate::layout::COMMITTED_LEN_OFF) as usize,
+                heap.pool().read_u64(USED_SB_OFF) as usize,
+            )
+        };
+        assert!(
+            used <= geo.committed_sb(frontier),
+            "persisted used {used} outran persisted frontier {frontier}"
+        );
+        heap.recover();
+        assert!(crate::checker::check_heap(&heap).is_consistent());
+    }
+
+    #[test]
+    fn grouped_flush_partition_is_linear_in_batch_size() {
+        let heap = Ralloc::create(32 << 20, RallocConfig::default());
+        let mc = class_max_count(8) as usize;
+        // Blocks from many superblocks: allocate `sbs` whole superblocks
+        // worth and take a couple of blocks from each, interleaved — the
+        // adversarial shape for the old O(n·sb) linear partition.
+        let sbs = 24usize;
+        let ptrs: Vec<usize> = (0..sbs * mc).map(|_| heap.malloc(64) as usize).collect();
+        assert!(ptrs.iter().all(|&p| p != 0));
+        let mut batch: Vec<usize> = Vec::new();
+        for blk in 0..2 {
+            for sb in 0..sbs {
+                batch.push(ptrs[sb * mc + blk]);
+            }
+        }
+        let probes0 = heap.slow_stats().flush_partition_probes.load(Ordering::Relaxed);
+        let cas0 = heap.slow_stats().flush_anchor_cas.load(Ordering::Relaxed);
+        heap.inner.flush_blocks(&mut batch);
+        let probes = heap.slow_stats().flush_partition_probes.load(Ordering::Relaxed) - probes0;
+        let cas = heap.slow_stats().flush_anchor_cas.load(Ordering::Relaxed) - cas0;
+        assert_eq!(cas, sbs as u64, "one anchor CAS per superblock group");
+        assert!(
+            probes > 0,
+            "a {}-block batch over {sbs} superblocks must escalate to the table",
+            batch.len()
+        );
+        assert!(
+            probes <= 4 * batch.len() as u64,
+            "partition must stay O(n): {probes} probes for {} blocks across {sbs} sbs",
+            batch.len()
+        );
+        // Returned blocks are genuinely free again: drain them back out.
+        for &p in &ptrs {
+            if !batch.contains(&p) {
+                heap.free(p as *mut u8);
+            }
+        }
+        assert!(crate::checker::check_heap(&heap).is_consistent());
     }
 
     #[test]

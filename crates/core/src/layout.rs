@@ -26,8 +26,10 @@ use crate::size_class::SB_SIZE;
 /// bumped whenever the metadata region's layout changes, so a clean
 /// image from an older build is re-initialized instead of silently
 /// misread. v1: single partial-list head per class. v2: `MAX_SHARDS`
-/// head slots per class (this build).
-pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_02;
+/// head slots per class. v3: reserve/commit capacity model — the header
+/// records the *reserved* span in `POOL_LEN_OFF` and the persisted
+/// committed frontier in `COMMITTED_LEN_OFF` (this build).
+pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_03;
 
 /// Descriptor stride in bytes (one cache line, paper §4.2).
 pub const DESC_SIZE: usize = 64;
@@ -39,7 +41,9 @@ pub const NUM_ROOTS: usize = 1024;
 
 /// Heap magic (u64).
 pub const MAGIC_OFF: usize = 0;
-/// Total pool length in bytes (u64).
+/// *Reserved* pool length in bytes (u64) — the fixed virtual span the
+/// geometry is computed from. An image's file may be shorter (only the
+/// committed prefix is saved); reopening re-reserves this much.
 pub const POOL_LEN_OFF: usize = 8;
 /// Dirty indicator (u64: 1 = dirty). Persisted. Stands in for the paper's
 /// robust `pthread_mutex_t`.
@@ -52,6 +56,12 @@ pub const USED_SB_OFF: usize = 32;
 /// Superblock free-list head (`Counted`). Transient: reconstructed by
 /// recovery, written back only by a clean shutdown.
 pub const FREE_LIST_OFF: usize = 40;
+/// Persisted committed frontier in bytes (u64): the pool prefix that is
+/// backed and valid. Grows monotonically (CAS + flush + fence) *before*
+/// any `used` expansion into the newly committed space is persisted, so
+/// a recovered `used` always lies within a recovered frontier. **Bold**
+/// (persisted online), once per heap growth — growth is cold-path only.
+pub const COMMITTED_LEN_OFF: usize = 48;
 /// Persistent roots: `NUM_ROOTS` u64 slots, each an offset+1 into the
 /// superblock region (0 = null). Persisted on `set_root`.
 pub const ROOTS_OFF: usize = 64;
@@ -108,6 +118,37 @@ impl Geometry {
         let sbs = capacity.div_ceil(SB_SIZE).max(2);
         let sb_off = (META_SIZE + sbs * DESC_SIZE).next_multiple_of(SB_SIZE);
         sb_off + sbs * SB_SIZE
+    }
+
+    // ---- reserve/commit views ----
+    //
+    // Geometry is a pure function of the *reserved* span, so the
+    // desc↔sb shift/mask correspondence never changes as the heap grows;
+    // the committed frontier only bounds how much of the superblock
+    // array is currently backed.
+
+    /// The smallest legal committed frontier: metadata plus the *whole*
+    /// descriptor region (descriptors are 1/1024th of their superblocks,
+    /// so committing them all upfront is cheap and keeps every
+    /// descriptor access frontier-free).
+    #[inline]
+    pub fn min_committed(&self) -> usize {
+        self.sb_off
+    }
+
+    /// Number of superblocks fully covered by a committed frontier of
+    /// `committed_len` bytes (clamped to capacity).
+    #[inline]
+    pub fn committed_sb(&self, committed_len: usize) -> usize {
+        (committed_len.saturating_sub(self.sb_off) / SB_SIZE).min(self.max_sb)
+    }
+
+    /// The committed frontier (bytes) needed to back the first `sbs`
+    /// superblocks.
+    #[inline]
+    pub fn committed_len_for_sb(&self, sbs: usize) -> usize {
+        debug_assert!(sbs <= self.max_sb);
+        self.sb_off + sbs * SB_SIZE
     }
 
     /// Byte offset of descriptor `i`.
@@ -201,6 +242,23 @@ mod tests {
     #[should_panic]
     fn tiny_pool_rejected() {
         Geometry::from_pool_len(1024);
+    }
+
+    #[test]
+    fn committed_views_round_trip_and_clamp() {
+        let g = Geometry::from_pool_len(64 << 20);
+        assert_eq!(g.committed_sb(g.min_committed()), 0);
+        assert_eq!(g.committed_sb(0), 0, "frontier below sb_off covers nothing");
+        for sbs in [0usize, 1, 7, g.max_sb] {
+            let len = g.committed_len_for_sb(sbs);
+            assert_eq!(g.committed_sb(len), sbs);
+            // A partially-covered superblock does not count.
+            if sbs < g.max_sb {
+                assert_eq!(g.committed_sb(len + SB_SIZE - 1), sbs);
+            }
+        }
+        assert_eq!(g.committed_sb(usize::MAX), g.max_sb, "clamped to capacity");
+        assert!(g.committed_len_for_sb(g.max_sb) <= g.pool_len, "full commit fits the pool");
     }
 
     #[test]

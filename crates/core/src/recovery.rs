@@ -106,6 +106,21 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     let used = inner.used_sb();
     let threads = threads.max(1);
 
+    // Frontier reconciliation (reserve/commit model): the durable
+    // frontier word is the surviving truth after a crash; refresh the
+    // runtime safe-frontier from it, and validate that the used prefix —
+    // the only region recovery sweeps — lies inside committed space. The
+    // grow protocol persists the frontier word *before* any `used` bump
+    // that relies on it, so a violation here means a corrupt or
+    // hand-truncated image, not a crash timing.
+    inner.reload_frontier();
+    assert!(
+        used <= geo.committed_sb(pool.committed_len()),
+        "recovery: used superblocks ({used}) extend past the committed frontier \
+         ({} bytes) — corrupt image",
+        pool.committed_len()
+    );
+
     // Steps 2-3: empty transient lists (thread caches were invalidated by
     // the crash's generation bump; on a dirty open none exist yet). Every
     // reserved shard head is reset, not just the live ones — the previous
@@ -243,9 +258,11 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     }
 
     // Step 10: write everything back so a crash immediately after
-    // recovery restarts from this reconstructed state.
+    // recovery restarts from this reconstructed state. Only the
+    // committed prefix exists to flush; the uncommitted reservation has
+    // no content (and the pool would reject the range).
     if !inner.is_transient() {
-        pool.flush(0, pool.len());
+        pool.flush(0, pool.committed_len());
         pool.fence();
     }
 

@@ -91,6 +91,29 @@ pub(crate) fn env_flag(name: &str) -> Option<bool> {
     }
 }
 
+/// Read a byte-size env knob: a plain integer, optionally suffixed with
+/// `K`/`M`/`G` (case-insensitive, powers of 1024). `None` when unset or
+/// unparsable. Used by `RALLOC_INIT_CAP`/`RALLOC_MAX_CAP`.
+pub(crate) fn env_size(name: &str) -> Option<usize> {
+    parse_size(&std::env::var(name).ok()?)
+}
+
+/// The pure parser behind [`env_size`] (separately testable: unit tests
+/// must not mutate the process environment — concurrent `setenv` and
+/// `getenv` across test threads is UB on glibc).
+fn parse_size(raw: &str) -> Option<usize> {
+    let s = raw.trim().to_ascii_uppercase();
+    let (digits, shift) = match s.strip_suffix(['K', 'M', 'G']) {
+        Some(d) => (d, match s.as_bytes()[s.len() - 1] {
+            b'K' => 10,
+            b'M' => 20,
+            _ => 30,
+        }),
+        None => (s.as_str(), 0),
+    };
+    digits.trim().parse::<usize>().ok().map(|n| n << shift)
+}
+
 /// Outcome of a sharded pop, so callers can account steals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPop {
@@ -172,6 +195,26 @@ mod tests {
         let pool = PmemPool::new(len, Mode::Direct);
         let geo = Geometry::from_pool_len(pool.len());
         (pool, geo)
+    }
+
+    #[test]
+    fn size_knob_parses_suffixes() {
+        // Pure-parser test on purpose: mutating the environment from a
+        // multithreaded test binary races glibc setenv/getenv (UB). The
+        // env plumbing itself is covered by tests/growable_env.rs, which
+        // owns its process.
+        for (raw, want) in [
+            ("4194304", Some(4194304usize)),
+            ("4m", Some(4 << 20)),
+            ("64K", Some(64 << 10)),
+            ("2G", Some(2 << 30)),
+            (" 8M ", Some(8 << 20)),
+            ("garbage", None),
+            ("", None),
+        ] {
+            assert_eq!(parse_size(raw), want, "{raw:?}");
+        }
+        assert_eq!(env_size("RALLOC_ENV_SIZE_TEST_UNSET"), None);
     }
 
     #[test]

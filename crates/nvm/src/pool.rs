@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -61,9 +61,24 @@ struct TrackState {
 /// pointers), never absolute addresses, because a reload maps the image at
 /// a different base — exactly the position-independence discipline the
 /// paper's `pptr` enforces.
+///
+/// ## Reserve/commit capacity model
+///
+/// The pool distinguishes its **reserved** span ([`PmemPool::len`], the
+/// fixed virtual extent the allocation was created with — cheap, because
+/// zero pages are materialized lazily by the OS, exactly like a large
+/// `PROT_NONE`/`mmap` reservation over a DAX file) from its **committed**
+/// frontier ([`PmemPool::committed_len`], the prefix that is actually
+/// backed and usable). All access checks, flushes, crash semantics, and
+/// image save/load are confined to the committed prefix;
+/// [`PmemPool::commit_to`] grows the frontier monotonically, never past
+/// the reserved span. Pools built through the plain constructors are
+/// fully committed, which is the historical one-fixed-pool behavior.
 pub struct PmemPool {
     base: *mut u8,
     len: usize,
+    /// Committed frontier in bytes (monotone, `<= len`).
+    committed: AtomicUsize,
     layout: Layout,
     mode: Mode,
     flush_model: FlushModel,
@@ -88,20 +103,40 @@ impl PmemPool {
     }
 
     /// Create a pool with an explicit flush-latency model and optional
-    /// crash injector.
+    /// crash injector. Fully committed.
     pub fn with_options(
         len: usize,
         mode: Mode,
         flush_model: FlushModel,
         injector: Option<Arc<CrashInjector>>,
     ) -> Self {
-        let len = line_up(len.max(CACHE_LINE));
+        Self::with_reserve(len, len, mode, flush_model, injector)
+    }
+
+    /// Create a pool with a `reserved` virtual span of which only the
+    /// first `committed` bytes are initially usable. The reservation is
+    /// cheap: the zeroed allocation materializes pages lazily, so an
+    /// uncommitted tail costs address space, not memory. Grow the usable
+    /// prefix later with [`PmemPool::commit_to`].
+    pub fn with_reserve(
+        reserved: usize,
+        committed: usize,
+        mode: Mode,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> Self {
+        let len = line_up(reserved.max(CACHE_LINE));
+        let committed = line_up(committed.max(CACHE_LINE));
+        assert!(committed <= len, "committed {committed} exceeds reserved {len}");
         let layout = Layout::from_size_align(len, 4096).expect("pool layout");
         // SAFETY: layout has nonzero size.
         let base = unsafe { alloc_zeroed(layout) };
         assert!(!base.is_null(), "pmem pool allocation of {len} bytes failed");
         let tracked = match mode {
             Mode::Direct => None,
+            // The shadow spans the whole reservation (lazy zero pages, same
+            // trick as the volatile image); the committed frontier bounds
+            // what flush/crash ever touch of it.
             Mode::Tracked => Some(Mutex::new(TrackState {
                 shadow: vec![0u8; len].into_boxed_slice(),
                 pending: HashMap::new(),
@@ -110,6 +145,7 @@ impl PmemPool {
         PmemPool {
             base,
             len,
+            committed: AtomicUsize::new(committed),
             layout,
             mode,
             flush_model,
@@ -126,7 +162,8 @@ impl PmemPool {
         self.base
     }
 
-    /// Size of the region in bytes.
+    /// Size of the *reserved* region in bytes (the fixed virtual span;
+    /// geometry is a pure function of this).
     #[inline]
     pub fn len(&self) -> usize {
         self.len
@@ -136,6 +173,33 @@ impl PmemPool {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// The committed frontier: bytes `0..committed_len()` are usable;
+    /// loads, stores, flushes and crash imaging are confined to them.
+    #[inline]
+    pub fn committed_len(&self) -> usize {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Grow the committed frontier to cover at least `new_len` bytes
+    /// (rounded up to a cache line). Monotonic — a smaller request is a
+    /// no-op — and never shrinks. Returns the resulting frontier.
+    ///
+    /// Committing only makes memory *usable*; durability of any state
+    /// that records the frontier is the caller's business (the allocator
+    /// persists its frontier word before relying on the new space).
+    ///
+    /// # Panics
+    /// If `new_len` exceeds the reserved span.
+    pub fn commit_to(&self, new_len: usize) -> usize {
+        let new_len = line_up(new_len);
+        assert!(
+            new_len <= self.len,
+            "commit_to({new_len}) exceeds reserved span {}",
+            self.len
+        );
+        self.committed.fetch_max(new_len, Ordering::AcqRel).max(new_len)
     }
 
     /// The persistence mode.
@@ -155,10 +219,13 @@ impl PmemPool {
         self.crashes.load(Ordering::Relaxed)
     }
 
-    /// True if `off..off+len` lies within the pool.
+    /// True if `off..off+len` lies within the *committed* prefix of the
+    /// pool. Reserved-but-uncommitted space is out of range until
+    /// [`PmemPool::commit_to`] covers it.
     #[inline]
     pub fn check_range(&self, off: usize, len: usize) -> bool {
-        off <= self.len && len <= self.len - off
+        let committed = self.committed.load(Ordering::Acquire);
+        off <= committed && len <= committed - off
     }
 
     /// Raw pointer to offset `off`.
@@ -298,6 +365,7 @@ impl PmemPool {
         let mut st = tracked.lock();
         // Un-fenced flushes are lost.
         st.pending.clear();
+        let committed = self.committed_len();
         if let CrashStyle::RandomEviction { survive_permille, seed } = style {
             // Some dirty lines persist anyway (spontaneous eviction).
             let mut rng = seed | 1;
@@ -307,7 +375,7 @@ impl PmemPool {
                 rng ^= rng << 17;
                 rng
             };
-            for line in (0..self.len).step_by(CACHE_LINE) {
+            for line in (0..committed).step_by(CACHE_LINE) {
                 // SAFETY: in-bounds; quiescent per contract.
                 let volatile =
                     unsafe { std::slice::from_raw_parts(self.base.add(line), CACHE_LINE) };
@@ -318,30 +386,36 @@ impl PmemPool {
                 }
             }
         }
+        // The committed prefix is everything ever writable, so reverting
+        // it reverts every line that could have diverged from the shadow.
         // SAFETY: quiescent per contract; copies shadow over volatile.
         unsafe {
-            std::ptr::copy_nonoverlapping(st.shadow.as_ptr(), self.base, self.len);
+            std::ptr::copy_nonoverlapping(st.shadow.as_ptr(), self.base, committed);
         }
         self.crashes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A copy of the image that would survive a crash right now
-    /// (in [`Mode::Direct`] this is the volatile image, i.e. assume clean
-    /// shutdown).
+    /// A copy of the image that would survive a crash right now — the
+    /// committed prefix only; uncommitted reservation is not part of any
+    /// image (in [`Mode::Direct`] this is the volatile image, i.e. assume
+    /// clean shutdown).
     pub fn persistent_image(&self) -> Vec<u8> {
+        let committed = self.committed_len();
         match &self.tracked {
-            Some(t) => t.lock().shadow.to_vec(),
-            // SAFETY: reading the whole pool; caller tolerance for racing
-            // bytes as with flush.
-            None => unsafe { std::slice::from_raw_parts(self.base, self.len).to_vec() },
+            Some(t) => t.lock().shadow[..committed].to_vec(),
+            // SAFETY: reading the committed prefix; caller tolerance for
+            // racing bytes as with flush.
+            None => unsafe { std::slice::from_raw_parts(self.base, committed).to_vec() },
         }
     }
 
-    /// Write the current volatile image to a file — what a clean shutdown
-    /// (full write-back) leaves in the DAX segment.
+    /// Write the current volatile image (committed prefix) to a file —
+    /// what a clean shutdown (full write-back) leaves in the DAX segment.
+    /// The file length *is* the committed frontier; the reserved span is
+    /// re-derived from pool metadata on reopen.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        // SAFETY: whole-pool read, caller quiescent.
-        let data = unsafe { std::slice::from_raw_parts(self.base, self.len) };
+        // SAFETY: committed-prefix read, caller quiescent.
+        let data = unsafe { std::slice::from_raw_parts(self.base, self.committed_len()) };
         fs::write(path, data)
     }
 
@@ -359,7 +433,8 @@ impl PmemPool {
         Self::load_with(path, mode, FlushModel::default(), None)
     }
 
-    /// [`PmemPool::load`] with explicit model/injector.
+    /// [`PmemPool::load`] with explicit model/injector. The pool's
+    /// reserved span equals the file length (fully committed).
     pub fn load_with(
         path: &Path,
         mode: Mode,
@@ -367,8 +442,47 @@ impl PmemPool {
         injector: Option<Arc<CrashInjector>>,
     ) -> io::Result<Self> {
         let data = fs::read(path)?;
-        let pool = Self::with_options(data.len(), mode, flush_model, injector);
-        assert!(pool.len >= data.len());
+        Ok(Self::adopt_image(&data, data.len(), mode, flush_model, injector))
+    }
+
+    /// Load a file into a pool whose reserved span is `reserved` bytes
+    /// (at least the file length). The file content becomes the committed
+    /// prefix; the tail is uncommitted reservation, ready for
+    /// [`PmemPool::commit_to`]. This is how a growable heap reopens an
+    /// image that was saved before it reached full size.
+    pub fn load_reserving(
+        path: &Path,
+        reserved: usize,
+        mode: Mode,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> io::Result<Self> {
+        let data = fs::read(path)?;
+        Ok(Self::adopt_image(&data, reserved, mode, flush_model, injector))
+    }
+
+    /// Adopt an in-memory image (used to simulate a remap at a new base
+    /// address without touching the filesystem). Fully committed.
+    pub fn from_image(image: &[u8], mode: Mode) -> Self {
+        Self::adopt_image(image, image.len(), mode, FlushModel::default(), None)
+    }
+
+    /// [`PmemPool::from_image`] with a larger reserved span (the image
+    /// becomes the committed prefix).
+    pub fn from_image_reserving(image: &[u8], reserved: usize, mode: Mode) -> Self {
+        Self::adopt_image(image, reserved, mode, FlushModel::default(), None)
+    }
+
+    fn adopt_image(
+        data: &[u8],
+        reserved: usize,
+        mode: Mode,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> Self {
+        let reserved = reserved.max(data.len());
+        let pool = Self::with_reserve(reserved, data.len(), mode, flush_model, injector);
+        assert!(pool.committed_len() >= data.len());
         // SAFETY: fresh pool, no other users yet.
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), pool.base, data.len());
@@ -376,21 +490,7 @@ impl PmemPool {
         // The on-file image *is* persistent: seed the shadow with it.
         if let Some(t) = &pool.tracked {
             let mut st = t.lock();
-            st.shadow[..data.len()].copy_from_slice(&data);
-        }
-        Ok(pool)
-    }
-
-    /// Adopt an in-memory image (used to simulate a remap at a new base
-    /// address without touching the filesystem).
-    pub fn from_image(image: &[u8], mode: Mode) -> Self {
-        let pool = Self::with_options(image.len(), mode, FlushModel::default(), None);
-        // SAFETY: fresh pool.
-        unsafe {
-            std::ptr::copy_nonoverlapping(image.as_ptr(), pool.base, image.len());
-        }
-        if let Some(t) = &pool.tracked {
-            t.lock().shadow[..image.len()].copy_from_slice(image);
+            st.shadow[..data.len()].copy_from_slice(data);
         }
         pool
     }
@@ -407,6 +507,7 @@ impl std::fmt::Debug for PmemPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PmemPool")
             .field("len", &self.len)
+            .field("committed", &self.committed_len())
             .field("mode", &self.mode)
             .field("crashes", &self.crash_count())
             .finish_non_exhaustive()
@@ -592,6 +693,80 @@ mod tests {
         assert_eq!(s.flush_calls, 2);
         assert_eq!(s.flush_lines, 1 + 2);
         assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn reserve_starts_uncommitted_and_commit_grows_monotonically() {
+        let pool = PmemPool::with_reserve(1 << 20, 4096, Mode::Direct, FlushModel::free(), None);
+        assert_eq!(pool.len(), 1 << 20);
+        assert_eq!(pool.committed_len(), 4096);
+        assert!(pool.check_range(0, 4096));
+        assert!(!pool.check_range(4096, 1), "uncommitted tail must be out of range");
+        assert_eq!(pool.commit_to(8192), 8192);
+        assert!(pool.check_range(4096, 4096));
+        // Shrinking requests are no-ops (frontier is monotone).
+        assert_eq!(pool.commit_to(4096), 8192);
+        assert_eq!(pool.committed_len(), 8192);
+        // Committed space is zeroed like the rest of the pool.
+        assert_eq!(read_byte(&pool, 8191), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reserved span")]
+    fn commit_beyond_reserved_panics() {
+        let pool = PmemPool::with_reserve(1 << 16, 4096, Mode::Direct, FlushModel::free(), None);
+        pool.commit_to((1 << 16) + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush out of range")]
+    fn flush_beyond_frontier_is_rejected() {
+        let pool = PmemPool::with_reserve(1 << 16, 4096, Mode::Direct, FlushModel::free(), None);
+        pool.flush(4096, 64);
+    }
+
+    #[test]
+    fn crash_and_images_are_confined_to_the_committed_prefix() {
+        let pool = PmemPool::with_reserve(1 << 16, 4096, Mode::Tracked, FlushModel::free(), None);
+        write_bytes(&pool, 128, &[7; 8]);
+        pool.persist(128, 8);
+        assert_eq!(pool.persistent_image().len(), 4096, "image = committed prefix");
+        pool.commit_to(8192);
+        write_bytes(&pool, 4096, &[9; 8]); // committed but never flushed
+        pool.crash();
+        assert_eq!(read_byte(&pool, 128), 7, "persisted line survives");
+        assert_eq!(read_byte(&pool, 4096), 0, "unflushed line past the old frontier is lost");
+        // The frontier itself is volatile pool state and survives the
+        // in-process crash monotonically.
+        assert_eq!(pool.committed_len(), 8192);
+        assert_eq!(pool.persistent_image().len(), 8192);
+    }
+
+    #[test]
+    fn grown_pool_round_trips_through_file_with_reservation() {
+        let dir = std::env::temp_dir().join(format!("nvm-grow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("grown.img");
+        {
+            let pool =
+                PmemPool::with_reserve(1 << 20, 4096, Mode::Direct, FlushModel::free(), None);
+            pool.commit_to(12288);
+            write_bytes(&pool, 8192, b"tail");
+            pool.save(&file).unwrap();
+        }
+        assert_eq!(std::fs::metadata(&file).unwrap().len(), 12288, "file = frontier");
+        let pool =
+            PmemPool::load_reserving(&file, 1 << 20, Mode::Tracked, FlushModel::free(), None)
+                .unwrap();
+        assert_eq!(pool.len(), 1 << 20, "reservation re-established");
+        assert_eq!(pool.committed_len(), 12288, "frontier = file length");
+        assert_eq!(read_byte(&pool, 8192), b't');
+        // Loaded content counts as persistent; the tail stays growable.
+        pool.crash();
+        assert_eq!(read_byte(&pool, 8192), b't');
+        pool.commit_to(1 << 20);
+        assert!(pool.check_range(0, 1 << 20));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

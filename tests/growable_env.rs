@@ -1,0 +1,45 @@
+//! `RALLOC_INIT_CAP`/`RALLOC_MAX_CAP` drive the reserve/commit machinery
+//! from the environment, so any fixed-capacity workload binary becomes
+//! growable without a code change.
+//!
+//! This is deliberately a single test in its own binary: env vars are
+//! process-global, and mutating them while another thread reads them
+//! (every heap creation does) is UB on glibc. One test = one thread =
+//! no concurrent getenv. Do not add further `#[test]`s to this file.
+
+use std::sync::atomic::Ordering;
+
+use ralloc::{check_heap, Ralloc, RallocConfig, SB_SIZE};
+
+#[test]
+fn env_knobs_configure_growth() {
+    std::env::set_var("RALLOC_INIT_CAP", "2M");
+    std::env::set_var("RALLOC_MAX_CAP", "24M");
+    let heap = Ralloc::create(8 << 20, RallocConfig::default());
+    std::env::remove_var("RALLOC_INIT_CAP");
+    std::env::remove_var("RALLOC_MAX_CAP");
+    assert!(heap.committed_superblocks() * SB_SIZE <= 2 << 20, "init cap must apply");
+    assert!(heap.max_superblocks() * SB_SIZE >= 24 << 20, "max cap must apply");
+    // Serves past both the init cap and the capacity argument.
+    let mut held = Vec::new();
+    for _ in 0..(12 << 20) / 4096 {
+        let p = heap.malloc(4096);
+        assert!(!p.is_null());
+        held.push(p);
+    }
+    assert!(heap.slow_stats().heap_grows.load(Ordering::Relaxed) >= 1);
+    for p in held {
+        heap.free(p);
+    }
+    assert!(check_heap(&heap).is_consistent());
+
+    // With the knobs cleared again, creation reverts to the historical
+    // fixed-pool behavior: everything committed upfront.
+    let fixed = Ralloc::create(8 << 20, RallocConfig::default());
+    assert_eq!(fixed.committed_superblocks(), fixed.max_superblocks());
+    assert!(fixed.max_superblocks() * SB_SIZE >= 8 << 20);
+    let p = fixed.malloc(64);
+    assert!(!p.is_null());
+    fixed.free(p);
+    assert_eq!(fixed.slow_stats().heap_grows.load(Ordering::Relaxed), 0);
+}

@@ -1,0 +1,348 @@
+//! The reserve/commit capacity model, end to end: a heap that starts
+//! small must grow transparently under load, survive a crash injected at
+//! every step of the grow protocol, refuse corrupt (truncated) images,
+//! return null only at the *reserved* ceiling, and reopen grown images —
+//! clean or dirty — with the grown frontier intact.
+
+use std::sync::atomic::Ordering;
+
+use nvm::{CrashInjector, CrashPoint};
+use ralloc::{check_heap, Pptr, Ralloc, RallocConfig, Trace, Tracer, SB_SIZE};
+
+#[repr(C)]
+struct Node {
+    value: u64,
+    next: Pptr<Node>,
+}
+
+unsafe impl Trace for Node {
+    fn trace(&self, t: &mut Tracer<'_>) {
+        t.visit_pptr(&self.next);
+    }
+}
+
+/// Build an n-node rooted list with application-side persistence, the way
+/// the recovery tests do.
+fn build_list(heap: &Ralloc, root: usize, n: usize) {
+    let mut head: *mut Node = std::ptr::null_mut();
+    for i in 0..n as u64 {
+        let p = heap.malloc(std::mem::size_of::<Node>()) as *mut Node;
+        assert!(!p.is_null());
+        // SAFETY: fresh block.
+        unsafe {
+            (*p).value = i;
+            (*p).next.set(head);
+        }
+        let off = p as usize - heap.pool().base() as usize;
+        heap.pool().persist(off, std::mem::size_of::<Node>());
+        head = p;
+    }
+    heap.set_root::<Node>(root, head);
+}
+
+fn list_len(heap: &Ralloc, root: usize) -> usize {
+    let mut n = 0;
+    let mut cur = heap.get_root::<Node>(root);
+    while !cur.is_null() {
+        n += 1;
+        // SAFETY: recovered list node.
+        cur = unsafe { (*cur).next.as_ptr() };
+    }
+    n
+}
+
+/// The PR's acceptance workload: a heap committed at 4 MiB serves 64 MiB
+/// of live allocations with zero null returns, growing as it goes.
+#[test]
+fn heap_committed_at_4mib_serves_64mib_live() {
+    let heap = Ralloc::create(
+        4 << 20,
+        RallocConfig {
+            initial_capacity: Some(4 << 20),
+            max_capacity: Some(128 << 20),
+            ..Default::default()
+        },
+    );
+    assert!(
+        heap.committed_superblocks() * SB_SIZE <= 4 << 20,
+        "heap must start at its initial commitment"
+    );
+    let block = 4096usize;
+    let target = 64 << 20;
+    let mut held: Vec<*mut u8> = Vec::with_capacity(target / block);
+    for i in 0..target / block {
+        let p = heap.malloc(block);
+        assert!(!p.is_null(), "null at live size {} with room reserved", i * block);
+        // Tag each block so growth never hands out aliased memory.
+        // SAFETY: fresh block of `block` bytes.
+        unsafe { std::ptr::write(p as *mut u64, i as u64) };
+        held.push(p);
+    }
+    let grows = heap.slow_stats().heap_grows.load(Ordering::Relaxed);
+    assert!(grows >= 4, "4 MiB -> 64+ MiB under doubling needs >= 4 grows, saw {grows}");
+    for (i, &p) in held.iter().enumerate() {
+        // SAFETY: live block.
+        assert_eq!(unsafe { std::ptr::read(p as *const u64) }, i as u64, "block aliased");
+    }
+    let report = check_heap(&heap);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+    for p in held {
+        heap.free(p);
+    }
+    assert!(check_heap(&heap).is_consistent());
+}
+
+/// Growth is observable but cheap: cold-path only, one persisted word per
+/// grow, and the number of grows is logarithmic in the final size.
+#[test]
+fn growth_is_logarithmic_and_cold_path() {
+    let heap = Ralloc::create(
+        1 << 20,
+        RallocConfig {
+            initial_capacity: Some(1 << 20),
+            max_capacity: Some(64 << 20),
+            ..Default::default()
+        },
+    );
+    // Derive expectations from the *observed* initial frontier: the CI
+    // grow-smoke runs this binary under RALLOC_INIT_CAP overrides.
+    let initial_sb = heap.committed_superblocks().max(1) as f64;
+    let mut held = Vec::new();
+    while heap.used_superblocks() < heap.max_superblocks() / 2 {
+        let p = heap.malloc(SB_SIZE - 64);
+        assert!(!p.is_null());
+        held.push(p);
+    }
+    let grows = heap.slow_stats().heap_grows.load(Ordering::Relaxed);
+    let final_sb = heap.committed_superblocks() as f64;
+    let bound = (final_sb / initial_sb).log2().ceil() as u64 + 2;
+    assert!(
+        grows <= bound,
+        "doubling must give O(log n) grows: {grows} grows to {final_sb} sbs (bound {bound})"
+    );
+    for p in held {
+        heap.free(p);
+    }
+}
+
+/// Crash injected at *every* persistence event of a growth-heavy run:
+/// whatever the interleaving, recovery must re-establish the full heap
+/// invariant, keep all (and only) the rooted blocks, and leave the heap
+/// serviceable. This sweep necessarily hits every step of the grow
+/// protocol — between the frontier commit, its flush, its fence, and the
+/// `used` bump — because each is a counted event.
+#[test]
+fn crash_sweep_through_grow_protocol_recovers() {
+    let cfg = || RallocConfig {
+        initial_capacity: Some(1 << 20),
+        max_capacity: Some(8 << 20),
+        ..RallocConfig::tracked()
+    };
+    // One large (superblock-carving) allocation per root, each rooted
+    // immediately: persisted roots let us count exactly which
+    // allocations must survive.
+    let workload = |heap: &Ralloc, upto: usize| {
+        for i in 0..upto {
+            let p = heap.malloc(SB_SIZE / 2 + 1);
+            if p.is_null() {
+                break;
+            }
+            heap.set_root_raw(i, p);
+        }
+    };
+    let (rounds, total_events) = {
+        let inj = CrashInjector::new();
+        let heap = Ralloc::create(1 << 20, RallocConfig { injector: Some(inj.clone()), ..cfg() });
+        // Size the workload off the *observed* initial frontier (the CI
+        // grow-smoke reruns this under RALLOC_INIT_CAP overrides): three
+        // times the initial commitment forces at least two doublings.
+        let rounds = (heap.committed_superblocks() * 3 + 8)
+            .min(heap.max_superblocks().saturating_sub(8));
+        let before = inj.observed();
+        workload(&heap, rounds);
+        assert!(
+            heap.slow_stats().heap_grows.load(Ordering::Relaxed) >= 2,
+            "workload must actually grow the heap"
+        );
+        (rounds, inj.observed() - before)
+    };
+    assert!(total_events > 100, "expected a rich event stream, got {total_events}");
+
+    for budget in 0..total_events {
+        let inj = CrashInjector::new();
+        let heap = Ralloc::create(1 << 20, RallocConfig { injector: Some(inj.clone()), ..cfg() });
+        inj.arm(budget);
+        let crashed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| workload(&heap, rounds)))
+                .map_err(|payload| assert!(CrashPoint::is(&*payload), "unexpected panic"))
+                .is_err();
+        inj.disarm();
+        assert!(crashed, "budget {budget} did not crash");
+        heap.crash_simulated();
+        let stats = heap.recover();
+        // Exactly the persisted roots survive, one superblock each.
+        let rooted = (0..rounds).filter(|&i| !heap.get_root_raw(i).is_null()).count();
+        assert_eq!(
+            stats.reachable_blocks as usize, rooted,
+            "budget {budget}: recovery must keep all and only rooted blocks"
+        );
+        let report = check_heap(&heap);
+        assert!(
+            report.is_consistent(),
+            "budget {budget}: invariants violated after grow-crash: {:?}",
+            report.violations
+        );
+        // The heap keeps functioning — including further growth.
+        for _ in 0..8 {
+            let p = heap.malloc(SB_SIZE / 2 + 1);
+            assert!(!p.is_null(), "budget {budget}: heap broken after recovery");
+        }
+        assert!(check_heap(&heap).is_consistent());
+    }
+}
+
+/// OOM at the reserved ceiling: null, no corruption, and frees make the
+/// heap serviceable again.
+#[test]
+fn oom_at_reserved_ceiling_is_clean() {
+    let heap = Ralloc::create(
+        1 << 20,
+        RallocConfig {
+            initial_capacity: Some(1 << 20),
+            max_capacity: Some(4 << 20),
+            ..Default::default()
+        },
+    );
+    let mut held = Vec::new();
+    loop {
+        let p = heap.malloc(4096);
+        if p.is_null() {
+            break;
+        }
+        held.push(p);
+    }
+    assert!(
+        held.len() * 4096 >= 3 << 20,
+        "ceiling hit suspiciously early: {} blocks",
+        held.len()
+    );
+    assert_eq!(heap.committed_superblocks(), heap.max_superblocks());
+    let report = check_heap(&heap);
+    assert!(report.is_consistent(), "OOM corrupted state: {:?}", report.violations);
+    // Null again (stable), then frees restore service.
+    assert!(heap.malloc(4096).is_null());
+    for p in held.drain(..) {
+        heap.free(p);
+    }
+    let p = heap.malloc(4096);
+    assert!(!p.is_null(), "heap must serve again after frees");
+    heap.free(p);
+    assert!(check_heap(&heap).is_consistent());
+}
+
+/// A clean close/reopen round-trips the grown frontier through the file:
+/// the saved file holds only the committed prefix, the header re-reserves
+/// the full span, and the reopened heap neither regrows what it has nor
+/// loses the room it had left.
+#[test]
+fn clean_reopen_of_grown_image_sees_grown_frontier() {
+    let dir = std::env::temp_dir().join(format!("ralloc-grow-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("grown.heap");
+    std::fs::remove_file(&file).ok();
+    let cfg = || RallocConfig {
+        initial_capacity: Some(1 << 20),
+        max_capacity: Some(32 << 20),
+        ..RallocConfig::tracked()
+    };
+    let (grown_sb, max_sb, nodes) = {
+        let (heap, dirty) = Ralloc::open_file(&file, 1 << 20, cfg()).unwrap();
+        assert!(!dirty);
+        // Enough nodes to outgrow whatever the initial frontier is
+        // (env overrides included) by a comfortable margin.
+        let nodes =
+            (heap.committed_superblocks() + 16) * (SB_SIZE / std::mem::size_of::<Node>());
+        build_list(&heap, 3, nodes);
+        assert!(heap.slow_stats().heap_grows.load(Ordering::Relaxed) >= 1);
+        heap.close().unwrap();
+        (heap.committed_superblocks(), heap.max_superblocks(), nodes)
+    };
+    // The file is the committed prefix, not the reservation.
+    let file_len = std::fs::metadata(&file).unwrap().len() as usize;
+    assert!(
+        file_len < max_sb * SB_SIZE && file_len >= grown_sb * SB_SIZE,
+        "file ({file_len} B) must cover the frontier ({grown_sb} sbs), not the reserve"
+    );
+    let (heap, dirty) = Ralloc::open_file(&file, 1 << 20, cfg()).unwrap();
+    assert!(!dirty, "clean close must reopen clean");
+    assert_eq!(heap.committed_superblocks(), grown_sb, "grown frontier survives reopen");
+    assert_eq!(heap.max_superblocks(), max_sb, "reservation survives reopen");
+    assert_eq!(list_len(&heap, 3), nodes, "grown data survives reopen");
+    // And the heap can keep growing from where it left off.
+    let mut held = Vec::new();
+    for _ in 0..grown_sb + 8 {
+        let p = heap.malloc(SB_SIZE - 64);
+        assert!(!p.is_null());
+        held.push(p);
+    }
+    assert!(heap.committed_superblocks() > grown_sb);
+    assert!(check_heap(&heap).is_consistent());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A *dirty* grown image (crash image remapped at a new base) recovers
+/// with the grown frontier and all rooted data.
+#[test]
+fn dirty_reopen_of_grown_image_recovers() {
+    let cfg = RallocConfig {
+        initial_capacity: Some(1 << 20),
+        max_capacity: Some(32 << 20),
+        ..RallocConfig::tracked()
+    };
+    let heap = Ralloc::create(1 << 20, cfg.clone());
+    let nodes = (heap.committed_superblocks() + 16) * (SB_SIZE / std::mem::size_of::<Node>());
+    build_list(&heap, 0, nodes);
+    assert!(heap.slow_stats().heap_grows.load(Ordering::Relaxed) >= 1);
+    let used = heap.used_superblocks();
+    let max_sb = heap.max_superblocks();
+    let image = heap.pool().persistent_image();
+    drop(heap);
+    let (heap2, dirty) = Ralloc::from_image(&image, cfg);
+    assert!(dirty);
+    assert_eq!(heap2.max_superblocks(), max_sb);
+    let _ = heap2.get_root::<Node>(0);
+    let stats = heap2.recover();
+    assert_eq!(stats.reachable_blocks as usize, nodes);
+    assert_eq!(list_len(&heap2, 0), nodes);
+    assert!(heap2.committed_superblocks() >= used, "frontier must cover the used prefix");
+    assert!(check_heap(&heap2).is_consistent());
+}
+
+/// An image whose persisted frontier claims more than the file contains
+/// is a truncated (data-losing) image and must be refused, not opened.
+#[test]
+fn truncated_image_with_frontier_beyond_file_is_refused() {
+    let heap = Ralloc::create(
+        1 << 20,
+        RallocConfig {
+            initial_capacity: Some(1 << 20),
+            max_capacity: Some(16 << 20),
+            ..RallocConfig::tracked()
+        },
+    );
+    // Grow well past the initial commitment, then lop off the tail.
+    let mut held = Vec::new();
+    for _ in 0..64 {
+        let p = heap.malloc(SB_SIZE / 2 + 1);
+        assert!(!p.is_null());
+        held.push(p);
+    }
+    let image = heap.pool().persistent_image();
+    let truncated = &image[..2 << 20];
+    let cfg = RallocConfig::tracked();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Ralloc::from_image(truncated, cfg)
+    }));
+    assert!(r.is_err(), "truncated image must be refused");
+}
+
