@@ -11,10 +11,21 @@
 //!   of growth shows up as a throughput ratio (≈1.0 means growth is
 //!   genuinely cold-path only).
 //!
+//! Two further datapoints ride along so the full bidirectional-frontier
+//! protocol has contention-ready numbers for a multi-core host:
+//!
+//! * **grow storm** — N threads hammering a heap committed at a *single*
+//!   superblock, so nearly every early slow path races the same frontier
+//!   word (the ROADMAP "growth under real parallelism" point; on a 1-CPU
+//!   host this measures CAS-interleaving only, `host_cores` says so);
+//! * **shrink** — the latency of a quiescent-point shrink releasing the
+//!   whole span back, and the superblocks it released.
+//!
 //! Emits `BENCH_grow.json` at the workspace root (`host_cores` tagged,
 //! like the other bench artifacts). Env knobs: `MICRO_GROW_MAX_MB`
 //! (default 256), `MICRO_GROW_INIT_MB` (default 4), `MICRO_GROW_REPS`
-//! (default 3; the JSON keeps the best rep of each configuration).
+//! (default 3; the JSON keeps the best rep of each configuration),
+//! `MICRO_GROW_STORM_THREADS` (default: all host cores, max 8).
 
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -66,6 +77,83 @@ fn sweep(heap: &Ralloc) -> SweepResult {
     }
 }
 
+struct StormResult {
+    threads: usize,
+    mops: f64,
+    grows: u64,
+    wall_ms: f64,
+}
+
+/// N threads leak-allocating 4 KiB from a 1-superblock-committed heap
+/// until the reserve is exhausted: the grow cold path under maximal
+/// competition (every thread's early fills race the same frontier word).
+fn grow_storm(threads: usize, max_mb: usize) -> StormResult {
+    use ralloc::SB_SIZE;
+    let heap = Ralloc::create(
+        SB_SIZE, // a single superblock of initial commitment
+        RallocConfig {
+            initial_capacity: Some(SB_SIZE),
+            max_capacity: Some(max_mb << 20),
+            ..Default::default()
+        },
+    );
+    let total = std::sync::atomic::AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let heap = heap.clone();
+            let total = &total;
+            s.spawn(move || {
+                let mut n = 0u64;
+                while !heap.malloc(4096).is_null() {
+                    n += 1;
+                }
+                total.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+            });
+        }
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    StormResult {
+        threads,
+        mops: total.load(std::sync::atomic::Ordering::Relaxed) as f64 / wall / 1e6,
+        grows: heap.slow_stats().heap_grows.load(Ordering::Relaxed),
+        wall_ms: wall * 1e3,
+    }
+}
+
+struct ShrinkResult {
+    released_sb: usize,
+    shrink_us: f64,
+}
+
+/// Fill the reserve with large blocks, free them all, and time the
+/// quiescent-point shrink that hands the whole span back.
+fn shrink_point(max_mb: usize) -> ShrinkResult {
+    use ralloc::SB_SIZE;
+    let heap = Ralloc::create(
+        SB_SIZE,
+        RallocConfig {
+            initial_capacity: Some(SB_SIZE),
+            max_capacity: Some(max_mb << 20),
+            ..Default::default()
+        },
+    );
+    let mut held = Vec::new();
+    loop {
+        let p = heap.malloc(SB_SIZE / 2 + 1);
+        if p.is_null() {
+            break;
+        }
+        held.push(p);
+    }
+    for p in held {
+        heap.free(p);
+    }
+    let t0 = Instant::now();
+    let released_sb = heap.shrink();
+    ShrinkResult { released_sb, shrink_us: t0.elapsed().as_secs_f64() * 1e6 }
+}
+
 fn main() {
     let max_mb = env_usize("MICRO_GROW_MAX_MB", 256);
     let init_mb = env_usize("MICRO_GROW_INIT_MB", 4);
@@ -99,13 +187,52 @@ fn main() {
          (mean {:.1} us/grow, max {:.1} us); precommitted control {:.2} Mops/s (ratio {:.3})",
         g.mops, g.grows, g.mean_grow_us, g.max_grow_us, best_pre, ratio
     );
+
+    // Grow-storm + shrink datapoints (best of reps each).
+    let storm_threads = env_usize("MICRO_GROW_STORM_THREADS", cores.min(8)).max(1);
+    let storm_mb = max_mb.min(64); // storms a smaller span: many tiny grows
+    let mut storm: Option<StormResult> = None;
+    let mut shrink: Option<ShrinkResult> = None;
+    for _ in 0..reps {
+        let st = grow_storm(storm_threads, storm_mb);
+        if storm.as_ref().is_none_or(|b| st.mops > b.mops) {
+            storm = Some(st);
+        }
+        let sh = shrink_point(storm_mb);
+        assert!(sh.released_sb > 0, "shrink point must release the span");
+        if shrink.as_ref().is_none_or(|b| sh.shrink_us < b.shrink_us) {
+            shrink = Some(sh);
+        }
+    }
+    let st = storm.unwrap();
+    let sh = shrink.unwrap();
+    println!(
+        "grow storm x{}: {:.2} Mops/s, {} grows from 1 sb in {:.1} ms; \
+         shrink: {} sbs released in {:.1} us",
+        st.threads, st.mops, st.grows, st.wall_ms, sh.released_sb, sh.shrink_us
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"micro_grow\",\n  \"unit\": \"Mops/s 4 KiB leak-sweep mallocs\",\n  \
          \"init_mb\": {init_mb},\n  \"max_mb\": {max_mb},\n  \"host_cores\": {cores},\n  \
          \"results\": {{\n    \"grows\": {},\n    \"mean_grow_us\": {:.2},\n    \
          \"max_grow_us\": {:.2},\n    \"mops_growing\": {:.3},\n    \
-         \"mops_precommitted\": {:.3},\n    \"growing_vs_precommitted\": {:.4}\n  }}\n}}\n",
-        g.grows, g.mean_grow_us, g.max_grow_us, g.mops, best_pre, ratio
+         \"mops_precommitted\": {:.3},\n    \"growing_vs_precommitted\": {:.4}\n  }},\n  \
+         \"storm\": {{\n    \"threads\": {},\n    \"span_mb\": {storm_mb},\n    \
+         \"mops\": {:.3},\n    \"grows\": {},\n    \"wall_ms\": {:.2}\n  }},\n  \
+         \"shrink\": {{\n    \"released_sb\": {},\n    \"shrink_us\": {:.1}\n  }}\n}}\n",
+        g.grows,
+        g.mean_grow_us,
+        g.max_grow_us,
+        g.mops,
+        best_pre,
+        ratio,
+        st.threads,
+        st.mops,
+        st.grows,
+        st.wall_ms,
+        sh.released_sb,
+        sh.shrink_us
     );
     // `CARGO_MANIFEST_DIR` is crates/bench; the JSON lives at the root.
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");

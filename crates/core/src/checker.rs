@@ -162,6 +162,15 @@ pub fn check_heap(heap: &Ralloc) -> CheckReport {
                         format!("descriptor {idx} on both free and partial lists"),
                     );
                 }
+                // Descriptors past `used` must be absent from every list:
+                // after a shrink lowers `used`, the released trailing run
+                // is unlinked before the lowered word is persisted.
+                if idx as usize >= used {
+                    report.violate(
+                        "list-membership",
+                        format!("partial list holds uncarved/released desc {idx} (used {used})"),
+                    );
+                }
                 partial_class.push((idx, class));
             }
         }

@@ -26,7 +26,7 @@ use parking_lot::Mutex;
 use nvm::{CrashInjector, FlushModel, Mode, PmemPool};
 
 use crate::anchor::{Anchor, SbState};
-use crate::descriptor::Desc;
+use crate::descriptor::{Desc, DescKind};
 use crate::gc::{trace_thunk, Trace, TraceFn};
 use crate::layout::{
     Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF,
@@ -57,6 +57,95 @@ fn prefetch_read(addr: usize) {
 }
 
 static NEXT_HEAP_ID: AtomicU64 = AtomicU64::new(1);
+
+/// When the heap releases its fully-free committed tail back to the OS
+/// (the shrink half of the reserve/commit model). Shrink is only legal at
+/// quiescent points — `used` never decreases online — so the two hooks
+/// are clean [`Ralloc::close`] and the end of recovery. Env override:
+/// `RALLOC_SHRINK=off|close|recovery|both`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkPolicy {
+    /// Never shrink automatically (PR-4 monotone-frontier behavior).
+    /// [`Ralloc::shrink`] still works when called explicitly.
+    Off,
+    /// Shrink on clean close only.
+    Close,
+    /// Shrink at the end of recovery only.
+    Recovery,
+    /// Shrink at both quiescent points (the default).
+    Both,
+}
+
+impl ShrinkPolicy {
+    #[inline]
+    pub(crate) fn at_close(self) -> bool {
+        matches!(self, ShrinkPolicy::Close | ShrinkPolicy::Both)
+    }
+
+    #[inline]
+    pub(crate) fn at_recovery(self) -> bool {
+        matches!(self, ShrinkPolicy::Recovery | ShrinkPolicy::Both)
+    }
+
+    /// Parse an `RALLOC_SHRINK` value (pure, separately testable — unit
+    /// tests must not mutate the process environment).
+    fn parse(raw: &str) -> Option<ShrinkPolicy> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(ShrinkPolicy::Off),
+            "close" => Some(ShrinkPolicy::Close),
+            "recovery" => Some(ShrinkPolicy::Recovery),
+            "both" | "on" | "1" => Some(ShrinkPolicy::Both),
+            _ => None,
+        }
+    }
+}
+
+/// Cache bins a heap retains across thread exits, per size class. An
+/// exiting thread *parks* its non-empty bins here (up to this bound)
+/// instead of flushing them block-by-batch back to superblocks; the next
+/// thread's first fill of the class adopts a parked bin wholesale — zero
+/// anchor CASes, zero carves. This is the churn-fixpoint "bound per-class
+/// cache retention" lever: thread-pool-style workloads that cycle worker
+/// threads stop paying a fresh superblock per (thread × class) per
+/// generation.
+///
+/// The bound is deliberately **one** bin per class: a parked bin is
+/// visible only to the single future fill that adopts it, while a
+/// *flushed* bin's blocks land on superblock free chains visible to every
+/// thread (partial lists + work stealing). Retaining more than one bin
+/// starves concurrent fills into carving fresh superblocks exactly when
+/// thread overlap deepens — the churn workload's quantized
+/// one-superblock-per-class demand spike. One parked bin keeps the
+/// warm-handoff win for the common exit→spawn cycle; everything beyond it
+/// goes back where every thread can see it.
+const MAX_PARKED_BINS: usize = 1;
+
+/// Extra partial-list candidates a fill inspects when the first one it
+/// pops is mostly empty (more than half its blocks free). Claiming a
+/// mostly-empty superblock hands one thread a huge chain while
+/// concurrent fills find the list empty and carve; preferring the
+/// *fullest* (smallest-free-count) candidate packs allocations into
+/// nearly-full superblocks and leaves the emptier ones visible — the
+/// churn-fixpoint "warm-start under memory pressure" lever.
+const FILL_BESTFIT_PROBES: usize = 2;
+
+/// Under the churn policy ([`RallocConfig::flush_half`]), a fill retains
+/// at most `max_count / CHURN_FILL_RETAIN_DIV` blocks (min
+/// [`CHURN_FILL_RETAIN_MIN`]) and returns the rest of its claimed chain
+/// to the superblock, re-enlisted where every thread can see it. An
+/// unbounded fill moves a whole superblock population into one thread's
+/// private bin, so each additional *concurrently runnable* thread costs
+/// one fresh superblock per class — the churn test's quantized +19
+/// demand spike, and a footprint that depends on OS scheduling rather
+/// than on the live set. Bounded retention makes one circulating
+/// superblock feed `DIV` concurrent threads; the batch (≥ 128 blocks for
+/// the 64 B class) still amortizes the anchor CAS three orders of
+/// magnitude. Off by default: the paper's whole-superblock Fill maximizes
+/// amortization when footprint convergence is not a goal.
+const CHURN_FILL_RETAIN_DIV: u32 = 8;
+/// Floor for the churn-policy fill-retention bound, so tiny-`max_count`
+/// classes keep a useful batch.
+const CHURN_FILL_RETAIN_MIN: u32 = 8;
 
 /// Configuration for creating or opening a heap.
 #[derive(Clone)]
@@ -100,6 +189,10 @@ pub struct RallocConfig {
     /// superblock of progress and to the reserved ceiling). Values are
     /// clamped to `1.0..=8.0`; the default 2.0 gives O(log n) grows.
     pub growth_factor: f64,
+    /// When the committed frontier shrinks back (release of the trailing
+    /// fully-free superblock run at quiescent points). Env override:
+    /// `RALLOC_SHRINK=off|close|recovery|both`.
+    pub shrink_policy: ShrinkPolicy,
 }
 
 impl Default for RallocConfig {
@@ -114,6 +207,7 @@ impl Default for RallocConfig {
             initial_capacity: None,
             max_capacity: None,
             growth_factor: 2.0,
+            shrink_policy: ShrinkPolicy::Both,
         }
     }
 }
@@ -161,6 +255,23 @@ pub struct SlowStats {
     /// Committed-frontier growths (cold path: each one is a commit + one
     /// persisted metadata word).
     pub heap_grows: AtomicU64,
+    /// Committed-frontier shrinks that released at least one superblock
+    /// (quiescent points only: clean close, end of recovery, explicit
+    /// [`Ralloc::shrink`]).
+    pub heap_shrinks: AtomicU64,
+    /// Superblocks released back to the OS by those shrinks.
+    pub sb_released: AtomicU64,
+    /// Extra partial-list candidates popped by best-fit fills (each probe
+    /// also re-pushes its loser, so the CAS cost is 2× this).
+    pub fill_bestfit_probes: AtomicU64,
+    /// Blocks a churn-policy fill claimed but immediately returned to
+    /// their superblock (bounded fill retention; 0 unless
+    /// [`RallocConfig::flush_half`]).
+    pub fill_bounded_returns: AtomicU64,
+    /// Cache bins parked whole at thread exit instead of being flushed.
+    pub bin_parks: AtomicU64,
+    /// Fills served by adopting a parked bin (zero CASes, zero carves).
+    pub bin_adopts: AtomicU64,
     /// Fully-empty superblocks reclaimed from partial lists instead of
     /// carving fresh space.
     pub sb_scavenged: AtomicU64,
@@ -231,6 +342,13 @@ pub struct HeapInner {
     flush_half: bool,
     /// Committed-frontier doubling factor (clamped at construction).
     growth_factor: f64,
+    /// When the frontier shrinks back (close/recovery hooks).
+    shrink_policy: ShrinkPolicy,
+    /// Bins parked by exited threads, adopted whole by future fills
+    /// (bounded retention: at most [`MAX_PARKED_BINS`] per class).
+    /// Transient like the thread caches they came from: discarded on
+    /// crash, flushed on clean close.
+    parked: [Mutex<Vec<CacheBin>>; NUM_CLASSES],
     /// The frontier (bytes) that is both committed in the pool *and*
     /// whose metadata word has been flushed and fenced. Carving reads
     /// this, never the raw pool frontier: a grow publishes here only
@@ -413,6 +531,196 @@ impl HeapInner {
         }
     }
 
+    /// The shrink policy this heap runs under.
+    #[inline]
+    pub(crate) fn shrink_policy(&self) -> ShrinkPolicy {
+        self.shrink_policy
+    }
+
+    /// Release the trailing run of fully-free superblocks: unlink their
+    /// descriptors, lower `used`, lower the persisted frontier word, and
+    /// decommit the tail. Returns the number of superblocks released.
+    ///
+    /// **Quiescent-point only** — the caller guarantees no concurrent
+    /// heap operation (clean close, end of recovery, or an explicit
+    /// [`Ralloc::shrink`] under the same contract): `used` never
+    /// decreases online, and the list surgery below is not lock-free.
+    ///
+    /// Crash-recoverable ordering (the grow protocol's mirror image —
+    /// grow is commit → CAS-max word → flush+fence → publish; shrink is
+    /// unpublish → CAS-min word → flush+fence → decommit):
+    /// 1. unlink the released descriptors from the free/partial lists
+    ///    (transient state: a crash here just means a dirty rebuild);
+    /// 2. *unpublish*: lower the persisted `used` word, flush + fence it,
+    ///    and pull `committed_safe` down so nothing could carve the tail
+    ///    (vacuous under quiescence, but keeps the published frontier and
+    ///    the durable words in lockstep);
+    /// 3. CAS-min the persisted frontier word down to cover exactly the
+    ///    new `used`, then flush + fence it;
+    /// 4. decommit the pool tail.
+    ///
+    /// A crash after 2 leaves used' < frontier (extra committed space,
+    /// never dangling state); a crash between 3 and 4 leaves the durable
+    /// frontier below the still-mapped tail, which reopen/recovery heal
+    /// upward from the image — in every interleaving the durable frontier
+    /// covers every durably-`used` superblock.
+    pub(crate) fn shrink_quiesced(&self) -> usize {
+        let used = self.used_sb();
+        // Interior superblocks of *live* large allocations carry stale
+        // recycled anchors (only the head's anchor is maintained online),
+        // so "anchor == EMPTY" alone cannot prove a superblock free:
+        // claim live spans first, exactly like recovery and the checker.
+        let mut claimed = vec![false; used];
+        for i in 0..used {
+            let d = Desc::new(&self.pool, &self.geo, i as u32);
+            if let DescKind::LargeHead { span } = d.classify(&self.geo, used) {
+                if d.anchor(Ordering::Acquire).state == SbState::Full {
+                    for k in 0..span {
+                        claimed[i + k] = true;
+                    }
+                }
+            }
+        }
+        let mut new_used = used;
+        while new_used > 0 && !claimed[new_used - 1] {
+            let d = Desc::new(&self.pool, &self.geo, (new_used - 1) as u32);
+            if d.anchor(Ordering::Acquire).state != SbState::Empty {
+                break;
+            }
+            new_used -= 1;
+        }
+        // The release covers the freed trailing run *and* the
+        // committed-but-never-carved overshoot of the doubling policy, so
+        // the shrunken frontier lands exactly on the surviving `used`.
+        let committed_before = self.committed_sb();
+        if new_used == used && committed_before <= new_used {
+            return 0;
+        }
+        // Step 1: unlink every released descriptor. They sit on the free
+        // list or (lazily retired) on a partial shard; filtering each
+        // list and re-splicing the survivors preserves order. All
+        // reserved shard heads are walked, not just the live ones — a
+        // clean image may carry stale-shard state from a wider run.
+        if new_used < used {
+            let keep = |idx: &u32| (*idx as usize) < new_used;
+            let free = DescList::free_list(&self.geo);
+            let kept: Vec<u32> =
+                free.collect(&self.pool, &self.geo).into_iter().filter(keep).collect();
+            free.reset(&self.pool);
+            free.splice_slice(&self.pool, &self.geo, &kept);
+            for class in 1..NUM_CLASSES as u32 {
+                for s in 0..shard::MAX_SHARDS as u32 {
+                    let list = DescList::partial_shard(&self.geo, class, s);
+                    let all = list.collect(&self.pool, &self.geo);
+                    if all.iter().any(|idx| !keep(idx)) {
+                        let kept: Vec<u32> = all.into_iter().filter(keep).collect();
+                        list.reset(&self.pool);
+                        list.splice_slice(&self.pool, &self.geo, &kept);
+                    }
+                }
+            }
+        }
+        // Step 2: unpublish. The persisted `used` must drop (and become
+        // durable) before the frontier word may, so no crash can observe
+        // a frontier below a persisted `used` superblock.
+        // SAFETY: metadata word, quiescent.
+        unsafe { self.pool.atomic_u64(USED_SB_OFF) }
+            .store(new_used as u64, Ordering::Release);
+        self.persist(USED_SB_OFF, 8);
+        let target = self.geo.committed_len_for_sb(new_used);
+        debug_assert!(target >= self.geo.min_committed());
+        self.committed_safe.store(target as u64, Ordering::Release);
+        // Step 3: CAS-min the durable frontier word, then persist it.
+        // SAFETY: metadata word.
+        let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) };
+        let mut w = word.load(Ordering::Acquire);
+        while w > target as u64 {
+            match word.compare_exchange(w, target as u64, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(cur) => w = cur,
+            }
+        }
+        self.persist(COMMITTED_LEN_OFF, 8);
+        // Step 4: release the tail.
+        self.pool.decommit_to(target);
+        let released = committed_before.saturating_sub(new_used);
+        self.slow.heap_shrinks.fetch_add(1, Ordering::Relaxed);
+        self.slow.sb_released.fetch_add(released as u64, Ordering::Relaxed);
+        released
+    }
+
+    /// Blocks a single fill may retain in the bin for `class`. Unbounded
+    /// by default (the paper's whole-superblock Fill); bounded under the
+    /// churn policy so one circulating superblock can feed several
+    /// concurrently-active threads (see [`CHURN_FILL_RETAIN_DIV`]).
+    #[inline]
+    fn fill_retain(&self, mc: u32) -> u32 {
+        if self.flush_half {
+            (mc / CHURN_FILL_RETAIN_DIV).max(CHURN_FILL_RETAIN_MIN).min(mc)
+        } else {
+            mc
+        }
+    }
+
+    /// Park a non-empty bin for adoption by a future thread's fill.
+    /// Returns false (caller must flush) when the class's retention bound
+    /// is already met or the heap is closed/crashed past this bin's life.
+    fn park_bin(&self, class: u32, bin: &mut CacheBin) -> bool {
+        if bin.len() == 0 {
+            return true; // nothing to retain
+        }
+        // Retention across thread exits is a churn-policy lever; the
+        // default policy keeps the historical exit-time full flush.
+        if !self.flush_half {
+            return false;
+        }
+        if self.parked[class as usize].lock().len() >= MAX_PARKED_BINS {
+            return false;
+        }
+        // Under the churn policy, trim to the fill-retention bound before
+        // parking: the excess goes back to superblock chains where every
+        // thread can find it, instead of waiting for a same-class
+        // adopter. (Flush outside the parked lock — it can take CASes.)
+        let retain = self.fill_retain(class_max_count(class));
+        if bin.len() > retain {
+            let excess = bin.len() as usize - retain as usize;
+            self.flush_blocks(&mut bin.blocks_mut()[..excess]);
+            bin.drain_front(excess);
+        }
+        let mut parked = self.parked[class as usize].lock();
+        if parked.len() >= MAX_PARKED_BINS {
+            return false;
+        }
+        parked.push(std::mem::replace(bin, CacheBin::new()));
+        self.slow.bin_parks.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Adopt a parked bin (most recently parked first), if any.
+    fn adopt_parked(&self, class: u32) -> Option<CacheBin> {
+        self.parked[class as usize].lock().pop()
+    }
+
+    /// Flush every parked bin back to the heap (clean close: a clean
+    /// shutdown leaves nothing cached anywhere).
+    pub(crate) fn flush_parked(&self) {
+        for class in 1..NUM_CLASSES {
+            let bins = std::mem::take(&mut *self.parked[class].lock());
+            for mut bin in bins {
+                self.flush_bin(&mut bin);
+            }
+        }
+    }
+
+    /// Drop every parked bin without flushing (crash/recovery: the blocks
+    /// now belong to the rebuilt free structures, like stale TLS bins).
+    pub(crate) fn discard_parked(&self) {
+        for class in 1..NUM_CLASSES {
+            self.parked[class].lock().clear();
+        }
+    }
+
     /// Expand the used prefix of the superblock region by `n` superblocks
     /// (paper §4.3): CAS `used` upward, then flush+fence it. When the
     /// committed frontier is in the way, grow it first (cold path); `None`
@@ -450,6 +758,22 @@ impl HeapInner {
     pub(crate) fn fill_bin(&self, class: u32, bin: &mut CacheBin) -> bool {
         debug_assert!(is_small_class(class));
         debug_assert_eq!(bin.len(), 0, "fill into a non-empty bin");
+        // Warm start (churn policy): adopt a bin parked by an exited
+        // thread wholesale — the blocks never left DRAM-cache custody,
+        // so the fill costs no anchor CAS and, crucially under churn, no
+        // carve. Parking is flush_half-gated, so the pool is always
+        // empty under the default policy; the gate here just skips the
+        // lock.
+        if self.flush_half {
+            if let Some(warm) = self.adopt_parked(class) {
+                debug_assert!(warm.len() > 0);
+                self.slow.bin_adopts.fetch_add(1, Ordering::Relaxed);
+                self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+                self.slow.cache_fill_blocks.fetch_add(warm.len() as u64, Ordering::Relaxed);
+                *bin = warm;
+                return true;
+            }
+        }
         bin.ensure_capacity(cache_capacity(class) as usize);
         let partial = self.partial(class);
         let home = self.home_shard();
@@ -458,6 +782,51 @@ impl HeapInner {
         let mc = class_max_count(class);
         loop {
             if let Some(pop) = partial.pop(&self.pool, &self.geo, home) {
+                let mut pop = pop;
+                // Best-fit lever: a mostly-empty first candidate means
+                // this fill is about to claim a huge chain while the list
+                // goes dry for concurrent fills (the churn demand spike).
+                // Probe a bounded number of further candidates and keep
+                // the *fullest* — smallest free count — re-enlisting the
+                // losers. Counts are read racily; the claim CAS below
+                // revalidates whatever we settle on.
+                let mut best = Desc::new(&self.pool, &self.geo, pop.idx).anchor(Ordering::Acquire);
+                if self.flush_half && best.state == SbState::Partial && best.count * 2 > mc {
+                    // Losers re-enlist only after the whole probe run:
+                    // pushing one back mid-loop would hand the next
+                    // (home-first, LIFO) pop the very descriptor just
+                    // pushed, so no second distinct candidate would ever
+                    // be seen.
+                    let mut losers = [0u32; FILL_BESTFIT_PROBES];
+                    let mut n_losers = 0;
+                    for _ in 0..FILL_BESTFIT_PROBES {
+                        let Some(cand) = partial.pop(&self.pool, &self.geo, home) else {
+                            break;
+                        };
+                        self.slow.fill_bestfit_probes.fetch_add(1, Ordering::Relaxed);
+                        let ca = Desc::new(&self.pool, &self.geo, cand.idx)
+                            .anchor(Ordering::Acquire);
+                        if ca.state == SbState::Empty {
+                            // Lazy retirement, same as the claim loop.
+                            free.push(&self.pool, &self.geo, cand.idx);
+                            continue;
+                        }
+                        if ca.count < best.count {
+                            losers[n_losers] = pop.idx;
+                            pop = cand;
+                            best = ca;
+                        } else {
+                            losers[n_losers] = cand.idx;
+                        }
+                        n_losers += 1;
+                        if best.count * 2 <= mc {
+                            break; // full enough
+                        }
+                    }
+                    for &idx in &losers[..n_losers] {
+                        partial.push(&self.pool, &self.geo, idx, home);
+                    }
+                }
                 let idx = pop.idx;
                 let d = Desc::new(&self.pool, &self.geo, idx);
                 let mut a = d.anchor(Ordering::Acquire);
@@ -497,9 +866,16 @@ impl HeapInner {
                 // never a write past the bin's slot array.
                 let take = a.count.min(mc);
                 debug_assert_eq!(take, a.count, "anchor count exceeds superblock population");
+                // Bounded fill retention (churn policy): keep only the
+                // head of the claimed chain; the tail goes straight back
+                // to the superblock (one extra CAS), re-enlisting it for
+                // concurrent fills instead of privatizing everything.
+                let keep_n = take.min(self.fill_retain(mc));
+                let mut surplus: Vec<usize> =
+                    Vec::with_capacity((take - keep_n) as usize);
                 let sb_addr = self.addr_of(self.geo.sb(idx as usize));
                 let mut blk = a.avail;
-                for _ in 0..take {
+                for i in 0..take {
                     debug_assert!(blk < mc);
                     let addr = sb_addr + blk as usize * bsize;
                     // Free-block link: the block's first word holds the
@@ -512,10 +888,20 @@ impl HeapInner {
                     if blk < mc {
                         prefetch_read(sb_addr + blk as usize * bsize);
                     }
-                    bin.push(addr);
+                    if i < keep_n {
+                        bin.push(addr);
+                    } else {
+                        surplus.push(addr);
+                    }
+                }
+                if !surplus.is_empty() {
+                    self.push_batch(idx as usize, &surplus, home);
+                    self.slow
+                        .fill_bounded_returns
+                        .fetch_add(surplus.len() as u64, Ordering::Relaxed);
                 }
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
-                self.slow.cache_fill_blocks.fetch_add(take as u64, Ordering::Relaxed);
+                self.slow.cache_fill_blocks.fetch_add(keep_n as u64, Ordering::Relaxed);
                 return true;
             }
             // No partial superblock: take a free one, scavenge an empty
@@ -548,13 +934,42 @@ impl HeapInner {
             // flush is provably redundant and skipped.
             let unchanged = d.size_class() == class && d.block_size() == bsize as u64;
             d.set_size(class, bsize as u64, mc, self.transient || unchanged);
-            d.set_anchor(Anchor::full(mc), Ordering::Release);
+            // Bounded fill retention (churn policy): by default the whole
+            // fresh population goes to the bin (LRMalloc's Fill, maximal
+            // amortization), but under `flush_half` the bin keeps only
+            // the retention bound and the rest stays on the superblock's
+            // free chain, enlisted PARTIAL. A fresh carve then feeds
+            // several concurrently-active threads instead of one, so
+            // per-(thread × class) retention stops forcing one new
+            // superblock per additional runnable thread — the churn
+            // footprint's quantized demand spike.
+            let keep = self.fill_retain(mc);
             let sb_addr = self.addr_of(self.geo.sb(idx as usize));
-            for i in (0..mc).rev() {
+            if keep < mc {
+                // We own the fresh superblock outright: link the withheld
+                // tail (blocks keep..mc) in ascending order and publish
+                // the anchor before enlisting. The final block's link is
+                // never followed (walks are bounded by count).
+                for i in keep..mc - 1 {
+                    // SAFETY: free-block first word of a block we own.
+                    unsafe {
+                        std::ptr::write((sb_addr + i as usize * bsize) as *mut u64, i as u64 + 1)
+                    };
+                }
+                d.set_anchor(
+                    Anchor { avail: keep, count: mc - keep, state: SbState::Partial },
+                    Ordering::Release,
+                );
+                self.partial(class).push(&self.pool, &self.geo, idx, home);
+                self.slow.partial_shard_pushes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                d.set_anchor(Anchor::full(mc), Ordering::Release);
+            }
+            for i in (0..keep).rev() {
                 bin.push(sb_addr + i as usize * bsize);
             }
             self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
-            self.slow.cache_fill_blocks.fetch_add(mc as u64, Ordering::Relaxed);
+            self.slow.cache_fill_blocks.fetch_add(keep as u64, Ordering::Relaxed);
             return true;
         }
     }
@@ -816,9 +1231,15 @@ impl HeapInner {
         }
     }
 
-    /// Drain every class bin of a TLS entry (thread exit, close).
-    pub(crate) fn drain_tls(&self, entry: &mut HeapTls) {
-        for bin in entry.bins.iter_mut() {
+    /// Drain every class bin of a TLS entry. At thread exit (`park`)
+    /// non-empty bins are parked for adoption by future threads, up to
+    /// the per-class retention bound; at close, and past the bound,
+    /// they flush back to their superblocks.
+    pub(crate) fn drain_tls(&self, entry: &mut HeapTls, park: bool) {
+        for (class, bin) in entry.bins.iter_mut().enumerate() {
+            if park && class != 0 && self.park_bin(class as u32, bin) {
+                continue;
+            }
             self.flush_bin(bin);
         }
     }
@@ -934,6 +1355,22 @@ impl Ralloc {
     ) -> io::Result<(Ralloc, bool)> {
         if path.exists() {
             let reserved = Self::peek_reserved_len(path).unwrap_or(0);
+            if reserved > 0 {
+                // A Ralloc header whose recorded reserved span is shorter
+                // than the file is corrupt (the file can never legally
+                // outgrow the reservation it was carved from). Refuse it
+                // here with a real diagnostic — the old behavior clamped
+                // the reservation up to the file length and left a
+                // confusing "pool length mismatch" panic to fire later —
+                // mirroring the truncated-image refusal in `adopt`.
+                let file_len = std::fs::metadata(path)?.len() as usize;
+                assert!(
+                    file_len <= reserved,
+                    "heap file {} is {file_len} bytes but its header records a \
+                     reserved span of only {reserved}: refusing a corrupt heap image",
+                    path.display()
+                );
+            }
             let pool = PmemPool::load_reserving(
                 path,
                 reserved,
@@ -962,11 +1399,26 @@ impl Ralloc {
 
     /// Reserved span recorded in an in-memory image header (the image
     /// length when it is not a current-format Ralloc image).
+    ///
+    /// A recognizable header recording a reserved span *shorter* than the
+    /// image is refused: the committed prefix can never legally outgrow
+    /// the reservation, so such an image is corrupt (or had foreign bytes
+    /// appended), and silently clamping the reservation up — the old
+    /// behavior — would compute a geometry the header's `max_sb` never
+    /// described. The refusal mirrors the truncated-image refusal on the
+    /// file path.
     fn image_reserved_len(image: &[u8]) -> usize {
         if image.len() >= 16
             && u64::from_ne_bytes(image[0..8].try_into().unwrap()) == MAGIC
         {
-            (u64::from_ne_bytes(image[8..16].try_into().unwrap()) as usize).max(image.len())
+            let reserved = u64::from_ne_bytes(image[8..16].try_into().unwrap()) as usize;
+            assert!(
+                reserved >= image.len(),
+                "heap image is {} bytes but its header records a reserved span of \
+                 only {reserved}: refusing a corrupt heap image",
+                image.len()
+            );
+            reserved
         } else {
             image.len()
         }
@@ -1097,6 +1549,11 @@ impl Ralloc {
                 shards: shard::effective_shards(cfg.partial_shards),
                 flush_half: shard::env_flag("RALLOC_FLUSH_HALF").unwrap_or(cfg.flush_half),
                 growth_factor: cfg.growth_factor.clamp(1.0, 8.0),
+                shrink_policy: std::env::var("RALLOC_SHRINK")
+                    .ok()
+                    .and_then(|v| ShrinkPolicy::parse(&v))
+                    .unwrap_or(cfg.shrink_policy),
+                parked: std::array::from_fn(|_| Mutex::new(Vec::new())),
                 committed_safe,
                 generation: AtomicU64::new(0),
                 closed: AtomicBool::new(false),
@@ -1250,6 +1707,15 @@ impl Ralloc {
     pub fn close(&self) -> io::Result<()> {
         let inner = &*self.inner;
         tcache::drain_current_thread(inner);
+        // Nothing cached survives a clean shutdown: bins parked by exited
+        // threads flush back too (maximizing the shrink below).
+        inner.flush_parked();
+        // Quiescent point: release the trailing fully-free run while the
+        // heap is still marked dirty, so a crash mid-shrink triggers a
+        // full rebuild rather than trusting half-shrunk lists.
+        if inner.shrink_policy.at_close() {
+            inner.shrink_quiesced();
+        }
         inner.closed.store(true, Ordering::Release);
         // SAFETY: metadata word.
         unsafe { inner.pool.atomic_u64(DIRTY_OFF) }.store(0, Ordering::Release);
@@ -1263,6 +1729,27 @@ impl Ralloc {
         Ok(())
     }
 
+    /// Quiescent-point shrink: release the trailing run of fully-free
+    /// superblocks back to the OS — descriptors unlinked, `used` and the
+    /// persisted frontier word lowered (each flushed and fenced, in that
+    /// order), the pool tail decommitted. Returns the number of
+    /// superblocks released.
+    ///
+    /// The caller must guarantee quiescence (no concurrent heap
+    /// operation), exactly as for [`Ralloc::recover`]. This runs
+    /// regardless of [`RallocConfig::shrink_policy`], which only gates
+    /// the automatic hooks at [`Ralloc::close`] and recovery.
+    ///
+    /// Blocks held in live threads' caches keep their superblocks
+    /// non-free, so an explicit shrink releases the most after worker
+    /// threads exit. Bins parked by those exits are flushed here first
+    /// (as at [`Ralloc::close`]) so their blocks don't pin superblocks
+    /// through the scan.
+    pub fn shrink(&self) -> usize {
+        self.inner.flush_parked();
+        self.inner.shrink_quiesced()
+    }
+
     /// Simulate a full-system crash (Tracked pools only): every line not
     /// flushed-and-fenced is lost, all thread caches are forgotten, and
     /// the heap is left dirty. Call [`Ralloc::recover`] before further
@@ -1273,6 +1760,8 @@ impl Ralloc {
         inner.generation.fetch_add(1, Ordering::AcqRel);
         inner.closed.store(false, Ordering::Release);
         tcache::discard_current_thread(inner);
+        // Parked bins are DRAM state, forgotten like the TLS caches.
+        inner.discard_parked();
     }
 
     /// Was the heap dirty at open time / is recovery pending? (The dirty
@@ -1699,6 +2188,60 @@ mod batch_tests {
                 heap.free(p as *mut u8);
             }
         }
+        assert!(crate::checker::check_heap(&heap).is_consistent());
+    }
+
+    #[test]
+    fn shrink_policy_parses_and_gates() {
+        for (raw, want) in [
+            ("off", Some(ShrinkPolicy::Off)),
+            ("  CLOSE ", Some(ShrinkPolicy::Close)),
+            ("recovery", Some(ShrinkPolicy::Recovery)),
+            ("both", Some(ShrinkPolicy::Both)),
+            ("1", Some(ShrinkPolicy::Both)),
+            ("0", Some(ShrinkPolicy::Off)),
+            ("garbage", None),
+        ] {
+            assert_eq!(ShrinkPolicy::parse(raw), want, "{raw:?}");
+        }
+        assert!(ShrinkPolicy::Both.at_close() && ShrinkPolicy::Both.at_recovery());
+        assert!(ShrinkPolicy::Close.at_close() && !ShrinkPolicy::Close.at_recovery());
+        assert!(!ShrinkPolicy::Recovery.at_close() && ShrinkPolicy::Recovery.at_recovery());
+        assert!(!ShrinkPolicy::Off.at_close() && !ShrinkPolicy::Off.at_recovery());
+    }
+
+    #[test]
+    fn explicit_shrink_releases_doubling_overshoot() {
+        // Grow far enough that the doubling policy overshoots `used`,
+        // free nothing: shrink must still pull the frontier back onto
+        // the used prefix (releasing only never-carved space).
+        let heap = Ralloc::create(
+            1 << 20,
+            RallocConfig {
+                initial_capacity: Some(1 << 20),
+                max_capacity: Some(32 << 20),
+                ..Default::default()
+            },
+        );
+        let mut held = Vec::new();
+        for _ in 0..33 {
+            held.push(heap.malloc(SB_SIZE / 2 + 1)); // 1 sb each, large path
+        }
+        assert!(held.iter().all(|p| !p.is_null()));
+        let used = heap.used_superblocks();
+        assert!(
+            heap.committed_superblocks() > used,
+            "doubling should overshoot at 33 sbs"
+        );
+        let released = heap.shrink();
+        assert!(released > 0);
+        assert_eq!(heap.used_superblocks(), used, "no live superblock may be released");
+        assert_eq!(heap.committed_superblocks(), used, "frontier lands on used");
+        // Everything still serviceable; the span regrows on demand.
+        for p in held {
+            heap.free(p);
+        }
+        assert!(!heap.malloc(64).is_null());
         assert!(crate::checker::check_heap(&heap).is_consistent());
     }
 

@@ -57,10 +57,13 @@ pub const USED_SB_OFF: usize = 32;
 /// recovery, written back only by a clean shutdown.
 pub const FREE_LIST_OFF: usize = 40;
 /// Persisted committed frontier in bytes (u64): the pool prefix that is
-/// backed and valid. Grows monotonically (CAS + flush + fence) *before*
-/// any `used` expansion into the newly committed space is persisted, so
-/// a recovered `used` always lies within a recovered frontier. **Bold**
-/// (persisted online), once per heap growth — growth is cold-path only.
+/// backed and valid. Grows monotonically online (CAS-max + flush + fence)
+/// *before* any `used` expansion into the newly committed space is
+/// persisted, and shrinks only at quiescent points (close / end of
+/// recovery: CAS-min + flush + fence, *after* the lowered `used` is
+/// durable, then decommit) — so at every crash point a recovered `used`
+/// lies within a recovered frontier. **Bold** (persisted online), once
+/// per heap growth — growth is cold-path only; shrink is offline.
 pub const COMMITTED_LEN_OFF: usize = 48;
 /// Persistent roots: `NUM_ROOTS` u64 slots, each an offset+1 into the
 /// superblock region (0 = null). Persisted on `set_root`.

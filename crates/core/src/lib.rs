@@ -55,7 +55,7 @@ pub mod size_class;
 mod tcache;
 
 pub use gc::{Trace, TraceFn, Tracer};
-pub use heap::{Ralloc, RallocConfig, SlowStats};
+pub use heap::{Ralloc, RallocConfig, ShrinkPolicy, SlowStats};
 pub use checker::{check_heap, CheckReport, Violation};
 pub use recovery::RecoveryStats;
 pub use size_class::{MAX_SMALL, SB_SIZE};

@@ -89,6 +89,12 @@ pub struct RecoveryStats {
     pub threads: usize,
     /// Partial-list shards the rebuilt lists were partitioned into.
     pub shards: u32,
+    /// Trailing fully-free superblocks released (frontier lowered and
+    /// tail decommitted) by the end-of-recovery shrink. 0 when
+    /// [`crate::heap::ShrinkPolicy`] disables the recovery hook. These
+    /// were counted in `free_superblocks` by the sweep and are no longer
+    /// on the free list.
+    pub shrunk_superblocks: usize,
     /// Wall-clock recovery time (the quantity of paper Figure 6).
     pub duration: Duration,
 }
@@ -120,6 +126,11 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
          ({} bytes) — corrupt image",
         pool.committed_len()
     );
+
+    // Bins parked by pre-crash thread exits are DRAM state: their blocks
+    // are about to be reclaimed (or kept) by the trace like any other
+    // cached block, so the parked copies must be forgotten.
+    inner.discard_parked();
 
     // Steps 2-3: empty transient lists (thread caches were invalidated by
     // the crash's generation bump; on a dirty open none exist yet). Every
@@ -255,6 +266,17 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
             stats.partial_superblocks += p;
             stats.full_superblocks += full;
         }
+    }
+
+    // Quiescent-point shrink (the recovery half of the bidirectional
+    // frontier): the sweep just rebuilt the lists, so the trailing run of
+    // fully-free superblocks is exactly known — release it before the
+    // write-back, lowering `used` and the persisted frontier word in the
+    // crash-safe order documented on `shrink_quiesced`. A restart whose
+    // live set collapsed thereby restarts at live-set footprint instead
+    // of its high-water mark.
+    if inner.shrink_policy().at_recovery() {
+        stats.shrunk_superblocks = inner.shrink_quiesced();
     }
 
     // Step 10: write everything back so a crash immediately after
@@ -680,7 +702,17 @@ mod parallel_tests {
 
     #[test]
     fn parallel_recovery_matches_sequential() {
-        let heap = Ralloc::create(32 << 20, RallocConfig::tracked());
+        // Shrink off: this test recovers the SAME heap twice and compares
+        // sweep statistics, and an end-of-recovery shrink would (by
+        // design) lower `used` between the two runs. The shrink hook has
+        // its own crash-sweep coverage in tests/growable_heap.rs.
+        let heap = Ralloc::create(
+            32 << 20,
+            RallocConfig {
+                shrink_policy: crate::heap::ShrinkPolicy::Off,
+                ..RallocConfig::tracked()
+            },
+        );
         build_many_lists(&heap, 16, 200);
         // Leak garbage so the sweep has work too.
         for _ in 0..2000 {

@@ -64,7 +64,7 @@ pub(crate) struct CacheBin {
 }
 
 impl CacheBin {
-    fn new() -> CacheBin {
+    pub(crate) fn new() -> CacheBin {
         CacheBin { slots: Box::default(), len: 0 }
     }
 
@@ -167,9 +167,10 @@ impl Drop for TlsStore {
         for entry in &mut self.entries {
             if let Some(heap) = entry.weak.upgrade() {
                 // Return blocks only if the heap has not crashed or closed
-                // since they were cached.
+                // since they were cached. Thread exit parks the bins for
+                // adoption by future threads (bounded retention).
                 if heap.generation() == entry.generation && !heap.is_closed() {
-                    heap.drain_tls(entry);
+                    heap.drain_tls(entry, true);
                 }
             }
         }
@@ -253,7 +254,9 @@ pub(crate) fn drain_current_thread(heap: &HeapInner) {
             FAST.set((0, std::ptr::null_mut()));
             let mut entry = store.entries.swap_remove(p);
             if entry.generation == heap.generation() {
-                heap.drain_tls(&mut entry);
+                // Close-time drain: flush outright, never park — a clean
+                // shutdown leaves nothing cached.
+                heap.drain_tls(&mut entry, false);
             }
         }
     })

@@ -202,6 +202,59 @@ impl PmemPool {
         self.committed.fetch_max(new_len, Ordering::AcqRel).max(new_len)
     }
 
+    /// Shrink the committed frontier to `new_len` bytes (rounded up to a
+    /// cache line), releasing the tail back to the OS — the
+    /// `madvise(MADV_DONTNEED)` analogue for the reserve/commit model.
+    /// The reserved span and all geometry derived from it are untouched;
+    /// a later [`PmemPool::commit_to`] over the released range reads
+    /// fresh zero pages, exactly like never-committed reservation. A
+    /// growing request is a no-op (mirroring `commit_to`'s monotonicity
+    /// in the other direction). Returns the resulting frontier.
+    ///
+    /// In [`Mode::Tracked`] the released tail is also dropped from the
+    /// persistent image: pending (flushed-unfenced) lines beyond the new
+    /// frontier are discarded and the shadow is zeroed, so no stale data
+    /// can resurrect through a crash after a re-grow.
+    ///
+    /// The caller must be quiescent (no concurrent access to the released
+    /// range): decommit is a close/recovery-time operation, never an
+    /// online one. Durability of whatever records the new frontier is the
+    /// caller's business — the allocator persists its frontier word
+    /// *before* decommitting, so a crash at any point leaves a frontier
+    /// at least as large as every persisted use of the space.
+    pub fn decommit_to(&self, new_len: usize) -> usize {
+        let new_len = line_up(new_len.max(CACHE_LINE));
+        if let Some(inj) = &self.injector {
+            inj.on_event();
+        }
+        let mut cur = self.committed.load(Ordering::Acquire);
+        loop {
+            if new_len >= cur {
+                return cur; // monotone in the shrink direction: no-op
+            }
+            match self.committed.compare_exchange(
+                cur,
+                new_len,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        // Zero the released tail of the volatile image: recommitting must
+        // observe lazily-materialized zero pages, not stale content.
+        // SAFETY: new_len..cur is in the reserved allocation; quiescence
+        // is the caller's contract.
+        unsafe { std::ptr::write_bytes(self.base.add(new_len), 0, cur - new_len) };
+        if let Some(t) = &self.tracked {
+            let mut st = t.lock();
+            st.pending.retain(|line, _| line + CACHE_LINE <= new_len);
+            st.shadow[new_len..cur].fill(0);
+        }
+        new_len
+    }
+
     /// The persistence mode.
     #[inline]
     pub fn mode(&self) -> Mode {
@@ -767,6 +820,40 @@ mod tests {
         pool.commit_to(1 << 20);
         assert!(pool.check_range(0, 1 << 20));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decommit_releases_tail_and_regrow_reads_zero_pages() {
+        let pool = PmemPool::with_reserve(1 << 20, 4096, Mode::Tracked, FlushModel::free(), None);
+        pool.commit_to(16384);
+        write_bytes(&pool, 8192, &[0xAA; 64]);
+        pool.persist(8192, 64);
+        assert_eq!(pool.committed_len(), 16384);
+        // Shrink back below the persisted data.
+        assert_eq!(pool.decommit_to(4096), 4096);
+        assert_eq!(pool.committed_len(), 4096);
+        assert!(!pool.check_range(4096, 1), "released tail must be out of range");
+        assert_eq!(pool.persistent_image().len(), 4096, "image = shrunken prefix");
+        // Growing requests through decommit_to are no-ops.
+        assert_eq!(pool.decommit_to(1 << 20), 4096);
+        // Recommit: the released range reads as fresh zero pages, in both
+        // the volatile image and the persistent shadow.
+        pool.commit_to(16384);
+        assert_eq!(read_byte(&pool, 8192), 0, "stale volatile data resurrected");
+        pool.crash();
+        assert_eq!(read_byte(&pool, 8192), 0, "stale shadow data resurrected");
+    }
+
+    #[test]
+    fn decommit_discards_pending_flushes_beyond_the_new_frontier() {
+        let pool = PmemPool::with_reserve(1 << 16, 8192, Mode::Tracked, FlushModel::free(), None);
+        write_bytes(&pool, 4096, &[7; 8]);
+        pool.flush(4096, 8); // flushed but NOT fenced
+        pool.decommit_to(4096);
+        pool.commit_to(8192);
+        pool.fence(); // must not resurrect the dropped pending line
+        pool.crash();
+        assert_eq!(read_byte(&pool, 4096), 0);
     }
 
     #[test]

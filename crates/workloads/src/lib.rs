@@ -19,6 +19,7 @@
 //! distribution. The `repro` binary prints one CSV row per figure point.
 
 pub mod alloc_select;
+pub mod churn;
 pub mod gcbench;
 pub mod larson;
 pub mod prodcon;

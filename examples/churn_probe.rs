@@ -1,0 +1,58 @@
+//! Footprint probe for the churn-fixpoint workload (Theorem 5.2).
+//!
+//! Replays `ralloc_leakage_freedom_under_churn`'s stress rounds while
+//! printing per-round footprint and slow-path counters, so regressions in
+//! the demand-spike levers (parked-bin warm starts, best-fit fills) show
+//! up as numbers instead of a flaky red test. Used to record the probe
+//! matrix in ROADMAP; run several times — the interesting signal is the
+//! step *distribution* across runs.
+//!
+//! Usage: `cargo run --release -p suite --example churn_probe [rounds]`
+
+use std::sync::atomic::Ordering;
+
+use ralloc::{Ralloc, RallocConfig};
+// The exact stress generator of `ralloc_leakage_freedom_under_churn`
+// (tests/overlap_stress.rs) — shared, not copied, so the trajectories
+// recorded here stay comparable to the test they explain.
+use workloads::churn::stress;
+use workloads::DynAlloc;
+
+fn main() {
+    let rounds: usize =
+        std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(7);
+    let heap =
+        Ralloc::create(64 << 20, RallocConfig { flush_half: true, ..Default::default() });
+    let alloc: DynAlloc = std::sync::Arc::new(heap.clone());
+    let s = heap.slow_stats();
+    let mut prev = heap.used_superblocks();
+    let counters: &[(&str, &std::sync::atomic::AtomicU64)] = &[
+        ("carved", &s.sb_carved),
+        ("scav", &s.sb_scavenged),
+        ("recheck", &s.free_recheck_hits),
+        ("adopts", &s.bin_adopts),
+        ("parks", &s.bin_parks),
+        ("bestfit", &s.fill_bestfit_probes),
+        ("home", &s.partial_pops_home),
+        ("steals", &s.partial_steals),
+        ("fills", &s.cache_fills),
+    ];
+    let mut last: Vec<u64> = counters.iter().map(|_| 0).collect();
+    print!("{:>5} {:>6} {:>6}", "round", "used", "step");
+    for (name, _) in counters {
+        print!(" {name:>8}");
+    }
+    println!();
+    for r in 0..rounds {
+        stress(&alloc, 4, 10_000);
+        let used = heap.used_superblocks();
+        print!("{:>5} {:>6} {:>+6}", r, used, used as i64 - prev as i64);
+        for (i, (_, c)) in counters.iter().enumerate() {
+            let v = c.load(Ordering::Relaxed);
+            print!(" {:>8}", v - last[i]);
+            last[i] = v;
+        }
+        println!();
+        prev = used;
+    }
+}

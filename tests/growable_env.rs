@@ -42,4 +42,34 @@ fn env_knobs_configure_growth() {
     assert!(!p.is_null());
     fixed.free(p);
     assert_eq!(fixed.slow_stats().heap_grows.load(Ordering::Relaxed), 0);
+
+    // RALLOC_SHRINK=off pins the frontier: a clean close releases
+    // nothing even though the whole heap is free.
+    std::env::set_var("RALLOC_SHRINK", "off");
+    let pinned = Ralloc::create(4 << 20, RallocConfig::default());
+    let q = pinned.malloc(SB_SIZE / 2 + 1);
+    assert!(!q.is_null());
+    pinned.free(q);
+    let committed = pinned.committed_superblocks();
+    pinned.close().unwrap();
+    assert_eq!(
+        pinned.committed_superblocks(),
+        committed,
+        "RALLOC_SHRINK=off must keep the frontier monotone"
+    );
+    assert_eq!(pinned.slow_stats().heap_shrinks.load(Ordering::Relaxed), 0);
+    std::env::remove_var("RALLOC_SHRINK");
+
+    // Default policy (`both`): the same close releases the free tail.
+    let shrinking = Ralloc::create(4 << 20, RallocConfig::default());
+    let q = shrinking.malloc(SB_SIZE / 2 + 1);
+    assert!(!q.is_null());
+    shrinking.free(q);
+    shrinking.close().unwrap();
+    assert_eq!(
+        shrinking.committed_superblocks(),
+        0,
+        "default shrink-on-close must release the fully-free frontier"
+    );
+    assert!(shrinking.slow_stats().sb_released.load(Ordering::Relaxed) > 0);
 }

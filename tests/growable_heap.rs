@@ -1,13 +1,19 @@
 //! The reserve/commit capacity model, end to end: a heap that starts
 //! small must grow transparently under load, survive a crash injected at
-//! every step of the grow protocol, refuse corrupt (truncated) images,
-//! return null only at the *reserved* ceiling, and reopen grown images —
-//! clean or dirty — with the grown frontier intact.
+//! every step of the grow protocol, refuse corrupt (truncated *and*
+//! oversized) images, return null only at the *reserved* ceiling, and
+//! reopen grown images — clean or dirty — with the grown frontier intact.
+//!
+//! Since the frontier became bidirectional, the same file also sweeps a
+//! crash through every event of the *shrink* protocol (unpublish →
+//! CAS-min word → flush+fence → decommit), drives grow→shrink→grow
+//! oscillation, and round-trips shrunken images through clean and dirty
+//! reopens.
 
 use std::sync::atomic::Ordering;
 
 use nvm::{CrashInjector, CrashPoint};
-use ralloc::{check_heap, Pptr, Ralloc, RallocConfig, Trace, Tracer, SB_SIZE};
+use ralloc::{check_heap, Pptr, Ralloc, RallocConfig, ShrinkPolicy, Trace, Tracer, SB_SIZE};
 
 #[repr(C)]
 struct Node {
@@ -344,5 +350,382 @@ fn truncated_image_with_frontier_beyond_file_is_refused() {
         Ralloc::from_image(truncated, cfg)
     }));
     assert!(r.is_err(), "truncated image must be refused");
+}
+
+/// The mirror-image corruption: an image *longer* than the reserved span
+/// its own header records (foreign bytes appended, or a corrupt header).
+/// The old header probe silently clamped the reservation up to the image
+/// length; both the in-memory and the file path must refuse instead.
+#[test]
+fn oversized_image_beyond_header_reserve_is_refused() {
+    let heap = Ralloc::create(1 << 20, RallocConfig::tracked());
+    heap.close().unwrap();
+    let mut image = heap.pool().persistent_image();
+    // Pad to one page past the *reserved* span — anything shorter is
+    // legally adopted (the frontier word heals upward to file content).
+    image.resize(heap.pool().len() + 4096, 0xA5);
+    let grown = image.clone();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Ralloc::from_image(&grown, RallocConfig::tracked())
+    }));
+    let msg = *r.expect_err("oversized image must be refused").downcast::<String>().unwrap();
+    assert!(msg.contains("refusing a corrupt heap image"), "wrong refusal: {msg}");
+
+    // Same corruption through the file path.
+    let dir = std::env::temp_dir().join(format!("ralloc-oversized-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("oversized.heap");
+    std::fs::write(&file, &image).unwrap();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Ralloc::open_file(&file, 1 << 20, RallocConfig::tracked())
+    }));
+    let msg = *r.expect_err("oversized file must be refused").downcast::<String>().unwrap();
+    assert!(msg.contains("refusing a corrupt heap image"), "wrong refusal: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------- shrink
+
+/// Grow → shrink → grow oscillation: the frontier must follow the live
+/// set down at quiescent points and climb back transparently, cycle after
+/// cycle, with the full invariant holding at every stage.
+#[test]
+fn grow_shrink_grow_oscillation() {
+    let heap = Ralloc::create(
+        1 << 20,
+        RallocConfig {
+            initial_capacity: Some(1 << 20),
+            max_capacity: Some(32 << 20),
+            ..Default::default()
+        },
+    );
+    let mut high_water = 0usize;
+    for cycle in 0..3 {
+        let mut held = Vec::new();
+        for _ in 0..96 {
+            let p = heap.malloc(SB_SIZE / 2 + 1); // large path: 1 sb each
+            assert!(!p.is_null(), "cycle {cycle}: grow failed");
+            held.push(p);
+        }
+        let grown = heap.committed_superblocks();
+        assert!(grown >= 96, "cycle {cycle}: frontier did not grow");
+        high_water = high_water.max(grown);
+        for p in held {
+            heap.free(p);
+        }
+        let released = heap.shrink();
+        assert!(released >= 96, "cycle {cycle}: shrink released only {released}");
+        assert_eq!(heap.used_superblocks(), 0, "cycle {cycle}: all blocks were freed");
+        assert_eq!(
+            heap.committed_superblocks(),
+            0,
+            "cycle {cycle}: empty heap must shrink to an empty frontier"
+        );
+        let report = check_heap(&heap);
+        assert!(report.is_consistent(), "cycle {cycle}: {:?}", report.violations);
+        // A shrunken heap serves immediately (regrow is transparent).
+        // Large path on purpose: a small malloc would leave its freed
+        // block in this thread's cache, pinning one superblock FULL
+        // across the next cycle's shrink.
+        let p = heap.malloc(SB_SIZE / 2 + 1);
+        assert!(!p.is_null(), "cycle {cycle}: heap dead after shrink");
+        heap.free(p);
+        heap.shrink();
+    }
+    let s = heap.slow_stats();
+    assert!(s.heap_shrinks.load(Ordering::Relaxed) >= 3);
+    assert!(s.sb_released.load(Ordering::Relaxed) as usize >= 3 * 96);
+}
+
+/// Shrink must never release superblocks pinned by a *live* large block —
+/// including its interior (continuation) superblocks, whose anchors are
+/// stale recycled state.
+#[test]
+fn shrink_stops_at_live_large_span() {
+    let heap = Ralloc::create(
+        1 << 20,
+        RallocConfig {
+            initial_capacity: Some(1 << 20),
+            max_capacity: Some(32 << 20),
+            ..Default::default()
+        },
+    );
+    // Leading garbage, then a live 3-superblock span, then garbage.
+    let lead = heap.malloc(SB_SIZE / 2 + 1);
+    let live = heap.malloc(3 * SB_SIZE - 64);
+    let tail: Vec<_> = (0..8).map(|_| heap.malloc(SB_SIZE / 2 + 1)).collect();
+    assert!(!lead.is_null() && !live.is_null());
+    heap.free(lead);
+    for p in tail {
+        heap.free(p);
+    }
+    // SAFETY: live block.
+    unsafe { std::ptr::write_bytes(live, 0xEE, 3 * SB_SIZE - 64) };
+    let released = heap.shrink();
+    assert!(released > 0, "trailing garbage must be released");
+    let used = heap.used_superblocks();
+    assert_eq!(heap.committed_superblocks(), used);
+    assert!(used >= 4, "live span (and everything below it) must survive");
+    // SAFETY: live block, still mapped.
+    for off in [0usize, SB_SIZE, 2 * SB_SIZE, 3 * SB_SIZE - 65] {
+        assert_eq!(unsafe { *live.add(off) }, 0xEE, "live large block corrupted by shrink");
+    }
+    assert!(check_heap(&heap).is_consistent());
+    heap.free(live);
+    assert!(heap.shrink() >= 3);
+}
+
+/// Crash injected at *every* persistence event of a free-then-close run:
+/// the sweep necessarily hits each step of the shrink protocol (the
+/// lowered `used` flush and fence, the CAS-min'd frontier word's flush
+/// and fence, and the decommit itself, which is a counted event), plus
+/// the surrounding close-path writes. Whatever the interleaving, recovery
+/// must keep all and only the still-rooted blocks and re-establish the
+/// full invariant, with the persisted frontier covering the persisted
+/// `used` at every budget.
+#[test]
+fn crash_sweep_through_shrink_protocol_recovers() {
+    let cfg = || RallocConfig {
+        initial_capacity: Some(1 << 20),
+        max_capacity: Some(8 << 20),
+        shrink_policy: ShrinkPolicy::Both,
+        ..RallocConfig::tracked()
+    };
+    let rounds = 48usize;
+    // Phase A (not swept): grow a rooted large-block population.
+    let setup = |heap: &Ralloc| {
+        for i in 0..rounds {
+            let p = heap.malloc(SB_SIZE / 2 + 1);
+            assert!(!p.is_null());
+            heap.set_root_raw(i, p);
+        }
+    };
+    // Phase B (swept): unroot + free the top half, then close — the
+    // close performs the shrink.
+    let teardown = |heap: &Ralloc| {
+        for i in rounds / 2..rounds {
+            let p = heap.get_root_raw(i);
+            heap.set_root_raw(i, std::ptr::null());
+            heap.free(p);
+        }
+        heap.close().unwrap();
+    };
+    let total_events = {
+        let inj = CrashInjector::new();
+        let heap = Ralloc::create(1 << 20, RallocConfig { injector: Some(inj.clone()), ..cfg() });
+        setup(&heap);
+        let before = inj.observed();
+        teardown(&heap);
+        assert!(
+            heap.slow_stats().heap_shrinks.load(Ordering::Relaxed) >= 1,
+            "the teardown must actually shrink"
+        );
+        assert_eq!(heap.committed_superblocks(), heap.used_superblocks());
+        inj.observed() - before
+    };
+    assert!(total_events > 10, "expected a rich event stream, got {total_events}");
+
+    for budget in 0..total_events {
+        let inj = CrashInjector::new();
+        let heap = Ralloc::create(1 << 20, RallocConfig { injector: Some(inj.clone()), ..cfg() });
+        setup(&heap);
+        inj.arm(budget);
+        let crashed =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| teardown(&heap)))
+                .map_err(|payload| assert!(CrashPoint::is(&*payload), "unexpected panic"))
+                .is_err();
+        inj.disarm();
+        assert!(crashed, "budget {budget} did not crash");
+        heap.crash_simulated();
+        let stats = heap.recover();
+        // Exact root-survival accounting: every root that was still set
+        // at the crash survives (one superblock each), nothing else.
+        let rooted = (0..rounds).filter(|&i| !heap.get_root_raw(i).is_null()).count();
+        assert_eq!(
+            stats.reachable_blocks as usize, rooted,
+            "budget {budget}: recovery must keep all and only rooted blocks"
+        );
+        assert!(
+            rooted >= rounds / 2,
+            "budget {budget}: a kept root was lost (have {rooted})"
+        );
+        // Recovery itself re-shrinks (policy Both): frontier == used.
+        assert_eq!(
+            heap.committed_superblocks(),
+            heap.used_superblocks(),
+            "budget {budget}: post-recovery shrink must land frontier on used"
+        );
+        let report = check_heap(&heap);
+        assert!(
+            report.is_consistent(),
+            "budget {budget}: invariants violated after shrink-crash: {:?}",
+            report.violations
+        );
+        // The heap keeps functioning — including regrowth over the
+        // decommitted (or never-recommitted) tail.
+        for _ in 0..8 {
+            let p = heap.malloc(SB_SIZE / 2 + 1);
+            assert!(!p.is_null(), "budget {budget}: heap broken after recovery");
+        }
+        assert!(check_heap(&heap).is_consistent());
+    }
+}
+
+/// A clean close of a heap whose live set collapsed writes a *shrunken*
+/// image; reopening sees the shrunken frontier (not the in-run
+/// high-water mark), all live data, and full room to regrow. The dirty
+/// path (crash image of an explicitly shrunken heap) must equally
+/// recover.
+#[test]
+fn shrunken_image_clean_and_dirty_reopen() {
+    let dir = std::env::temp_dir().join(format!("ralloc-shrink-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("shrunken.heap");
+    std::fs::remove_file(&file).ok();
+    let cfg = || RallocConfig {
+        initial_capacity: Some(1 << 20),
+        max_capacity: Some(32 << 20),
+        ..RallocConfig::tracked()
+    };
+    let nodes = 2000usize;
+    let (high_water, closed_sb, max_sb) = {
+        let (heap, dirty) = Ralloc::open_file(&file, 1 << 20, cfg()).unwrap();
+        assert!(!dirty);
+        build_list(&heap, 5, nodes); // live set, packed low
+        // Garbage spike far above the live set, then release it.
+        let spike: Vec<_> = (0..64).map(|_| heap.malloc(SB_SIZE / 2 + 1)).collect();
+        assert!(spike.iter().all(|p| !p.is_null()));
+        let high_water = heap.committed_superblocks();
+        for p in spike {
+            heap.free(p);
+        }
+        heap.close().unwrap();
+        (high_water, heap.committed_superblocks(), heap.max_superblocks())
+    };
+    assert!(
+        closed_sb < high_water,
+        "close must shrink below the high-water mark ({closed_sb} vs {high_water})"
+    );
+    let file_len = std::fs::metadata(&file).unwrap().len() as usize;
+    assert!(
+        file_len < high_water * SB_SIZE,
+        "the saved file must be the shrunken prefix, not the high-water span"
+    );
+    // Clean reopen: shrunken frontier, live data, reservation intact.
+    let (heap, dirty) = Ralloc::open_file(&file, 1 << 20, cfg()).unwrap();
+    assert!(!dirty, "clean close must reopen clean");
+    assert_eq!(heap.committed_superblocks(), closed_sb);
+    assert_eq!(heap.max_superblocks(), max_sb, "reservation survives the shrink");
+    assert_eq!(list_len(&heap, 5), nodes, "live data survives the shrink");
+    let mut held = Vec::new();
+    for _ in 0..closed_sb + 8 {
+        let p = heap.malloc(SB_SIZE - 64);
+        assert!(!p.is_null(), "shrunken heap must regrow");
+        held.push(p);
+    }
+    assert!(heap.committed_superblocks() > closed_sb);
+    assert!(check_heap(&heap).is_consistent());
+
+    // Dirty path: explicit shrink, then a crash image at a new base.
+    let heap2 = Ralloc::create(1 << 20, cfg());
+    build_list(&heap2, 0, nodes);
+    let spike: Vec<_> = (0..64).map(|_| heap2.malloc(SB_SIZE / 2 + 1)).collect();
+    let hw2 = heap2.committed_superblocks();
+    for p in spike {
+        heap2.free(p);
+    }
+    assert!(heap2.shrink() > 0);
+    assert!(heap2.committed_superblocks() < hw2);
+    let image = heap2.pool().persistent_image();
+    assert!(image.len() < hw2 * SB_SIZE, "crash image must be the shrunken prefix");
+    drop(heap2);
+    let (heap3, dirty) = Ralloc::from_image(&image, cfg());
+    assert!(dirty);
+    let _ = heap3.get_root::<Node>(0);
+    let stats = heap3.recover();
+    assert_eq!(stats.reachable_blocks as usize, nodes);
+    assert_eq!(list_len(&heap3, 0), nodes);
+    assert!(check_heap(&heap3).is_consistent());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CI shrink-smoke workload (run there under `RALLOC_INIT_CAP=2M`):
+/// a multi-threaded churn spike on top of a bounded live set, a clean
+/// close, and a reopen whose committed frontier must sit below the
+/// in-run high-water mark and within a doubling step of the live set.
+#[test]
+fn churn_workload_close_reopen_commits_near_live_set() {
+    let dir = std::env::temp_dir().join(format!("ralloc-churnsmoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("churn.heap");
+    std::fs::remove_file(&file).ok();
+    let cfg = || RallocConfig {
+        initial_capacity: Some(2 << 20),
+        max_capacity: Some(64 << 20),
+        flush_half: true, // churn policy: bounded retention levers on
+        ..Default::default()
+    };
+    let nodes = 1000usize;
+    let (high_water, used_after_close, closed_sb) = {
+        let (heap, dirty) = Ralloc::open_file(&file, 2 << 20, cfg()).unwrap();
+        assert!(!dirty);
+        build_list(&heap, 0, nodes); // live set first: packs low
+        // Churn: worker threads allocate and free far more than the live
+        // set, across many classes, then exit (caches park/flush).
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let heap = heap.clone();
+                s.spawn(move || {
+                    let mut held: Vec<*mut u8> = Vec::new();
+                    let mut x = 0x9E3779B9u64.wrapping_mul(t + 1) | 1;
+                    for _ in 0..30_000 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        if held.len() > 500 || (!held.is_empty() && x.is_multiple_of(3)) {
+                            let p = held.swap_remove(x as usize % held.len());
+                            heap.free(p);
+                        } else {
+                            let p = heap.malloc(8 + (x as usize % 50) * 8);
+                            assert!(!p.is_null());
+                            held.push(p);
+                        }
+                    }
+                    for p in held {
+                        heap.free(p);
+                    }
+                });
+            }
+        });
+        let high_water = heap.committed_superblocks();
+        heap.close().unwrap();
+        (high_water, heap.used_superblocks(), heap.committed_superblocks())
+    };
+    let (heap, dirty) = Ralloc::open_file(&file, 2 << 20, cfg()).unwrap();
+    assert!(!dirty);
+    assert_eq!(
+        heap.committed_superblocks(),
+        closed_sb,
+        "reopened committed_len must equal the shrunken frontier"
+    );
+    assert!(
+        heap.committed_superblocks() < high_water,
+        "reopened committed_len ({}) must drop below the in-run high-water mark ({high_water})",
+        heap.committed_superblocks()
+    );
+    // Acceptance bound: committed ≤ live-set superblocks + one doubling
+    // step. The live set is the rooted list plus bounded per-class
+    // fragmentation pinned below it by the churn (at most a few partial
+    // superblocks per active class — the churn spans ~19 classes).
+    let live_sbs = (nodes * std::mem::size_of::<Node>()).div_ceil(SB_SIZE) + 19;
+    assert!(
+        heap.committed_superblocks() <= 2 * live_sbs,
+        "reopened frontier {} exceeds live-set bound {live_sbs} + one doubling",
+        heap.committed_superblocks()
+    );
+    assert_eq!(heap.used_superblocks(), used_after_close);
+    assert_eq!(list_len(&heap, 0), nodes, "live set survives the churn + shrink");
+    assert!(check_heap(&heap).is_consistent());
+    std::fs::remove_dir_all(&dir).ok();
 }
 

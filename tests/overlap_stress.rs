@@ -10,59 +10,11 @@
 use nvm::FlushModel;
 use proptest::prelude::*;
 use ralloc::PersistentAllocator;
+// The churn stress generator is shared with examples/churn_probe.rs (so
+// the probe's footprint trajectories stay comparable to this test) and
+// lives in workloads::churn.
+use workloads::churn::stress;
 use workloads::{make_allocator, AllocKind, DynAlloc};
-
-fn fill_signature(ptr: *mut u8, size: usize) {
-    for i in 0..size {
-        // SAFETY: ptr is a live block of `size` bytes owned by us.
-        unsafe { *ptr.add(i) = ((ptr as usize).wrapping_add(i) as u8) ^ 0x5A };
-    }
-}
-
-fn check_signature(ptr: *mut u8, size: usize) {
-    for i in 0..size {
-        // SAFETY: as above.
-        let got = unsafe { *ptr.add(i) };
-        let want = ((ptr as usize).wrapping_add(i) as u8) ^ 0x5A;
-        assert_eq!(got, want, "signature torn at {ptr:p}+{i}: block overlap or double-issue");
-    }
-}
-
-fn stress(alloc: &DynAlloc, threads: usize, per_thread_ops: usize) {
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let alloc = alloc.clone();
-            s.spawn(move || {
-                let mut held: Vec<(usize, usize)> = Vec::new();
-                let mut x = 0x9E3779B9u64.wrapping_mul(t as u64 + 1) | 1;
-                let mut rand = move || {
-                    x ^= x << 13;
-                    x ^= x >> 7;
-                    x ^= x << 17;
-                    x
-                };
-                for _ in 0..per_thread_ops {
-                    if held.len() > 400 || (!held.is_empty() && rand() % 3 == 0) {
-                        let i = (rand() as usize) % held.len();
-                        let (p, sz) = held.swap_remove(i);
-                        check_signature(p as *mut u8, sz);
-                        alloc.free(p as *mut u8);
-                    } else {
-                        let sz = 8 + (rand() as usize % 50) * 8;
-                        let p = alloc.malloc(sz);
-                        assert!(!p.is_null());
-                        fill_signature(p, sz);
-                        held.push((p as usize, sz));
-                    }
-                }
-                for (p, sz) in held {
-                    check_signature(p as *mut u8, sz);
-                    alloc.free(p as *mut u8);
-                }
-            });
-        }
-    });
-}
 
 #[test]
 fn ralloc_concurrent_signatures_hold() {
@@ -83,19 +35,18 @@ fn pmdk_concurrent_signatures_hold() {
 }
 
 #[test]
-#[ignore = "known-flaky since the seed: the late post-warmup carve steps are \
-            quantized at ~+19 superblocks and hit ~60% of runs on the PR 4 \
-            host, unchanged (within noise) by the scavenge-recheck lever, \
-            flush policy, or shard count — measurements in ROADMAP 'Churn \
-            footprint fixpoint'. Run with --ignored."]
 fn ralloc_leakage_freedom_under_churn() {
     // The heap footprint must reach a fixed point when the live set is
     // bounded (Theorem 5.2: freed blocks become available for reuse).
-    // Probed with the Makalu-style flush-half policy (keep half of every
-    // overflowing bin cached) and, since PR 4, with fills re-checking the
-    // free list after a failed scavenge: both damp but do not remove the
-    // late carve steps — see the ROADMAP entry for the measured
-    // trajectories and the current demand-spike hypothesis.
+    // Red since the seed (late carve steps quantized at one superblock
+    // *per class*, fired whenever the OS scheduler deepened thread
+    // overlap past what the warmup rounds happened to see); green since
+    // the churn policy gained bounded fill retention + parked-bin warm
+    // starts: a fill keeps max_count/8 blocks and returns the rest of
+    // its claimed chain to the (globally visible) superblock, so one
+    // circulating superblock per class feeds every overlap level the
+    // 1-CPU scheduler can produce. 20/20 matrix runs green — trajectory
+    // tables in ROADMAP "Churn footprint fixpoint".
     let heap = ralloc::Ralloc::create(
         64 << 20,
         ralloc::RallocConfig { flush_half: true, ..Default::default() },
