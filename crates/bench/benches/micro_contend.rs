@@ -26,6 +26,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use ralloc::{Ralloc, RallocConfig};
+use telemetry::Histogram;
 
 /// Block size under test: the largest small class (4 blocks/superblock),
 /// chosen to maximize the slow-path fraction of the op stream.
@@ -35,8 +36,16 @@ const BLOCK: usize = 14336;
 const SLOTS: usize = 64;
 
 /// Run `threads` workers churning private working sets for `window`;
-/// returns (malloc+free pairs)/s in Mops.
-fn churn_throughput(heap: &Ralloc, threads: usize, window: Duration) -> f64 {
+/// returns (malloc+free pairs)/s in Mops. When `lat` is given, thread 0
+/// additionally times each of its ops into the histogram — one timing
+/// thread out of N keeps the clock-read overhead off the aggregate
+/// throughput while still sampling the contended latency distribution.
+fn churn_throughput(
+    heap: &Ralloc,
+    threads: usize,
+    window: Duration,
+    lat: Option<&Histogram>,
+) -> f64 {
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(threads + 1));
     let total: u64 = std::thread::scope(|s| {
@@ -45,6 +54,7 @@ fn churn_throughput(heap: &Ralloc, threads: usize, window: Duration) -> f64 {
                 let heap = heap.clone();
                 let stop = stop.clone();
                 let barrier = barrier.clone();
+                let lat = if t == 0 { lat.cloned() } else { None };
                 s.spawn(move || {
                     let mut slots: Vec<usize> = vec![0; SLOTS];
                     let mut x = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1) | 1;
@@ -59,6 +69,7 @@ fn churn_throughput(heap: &Ralloc, threads: usize, window: Duration) -> f64 {
                     while !stop.load(Ordering::Relaxed) {
                         for _ in 0..256 {
                             let i = rand() as usize % SLOTS;
+                            let t0 = lat.as_ref().map(|_| std::time::Instant::now());
                             if slots[i] == 0 {
                                 let p = heap.malloc(BLOCK);
                                 assert!(!p.is_null(), "bench pool exhausted");
@@ -67,6 +78,9 @@ fn churn_throughput(heap: &Ralloc, threads: usize, window: Duration) -> f64 {
                                 heap.free(slots[i] as *mut u8);
                                 slots[i] = 0;
                                 pairs += 1;
+                            }
+                            if let (Some(h), Some(t0)) = (&lat, t0) {
+                                h.observe_since(t0);
                             }
                         }
                     }
@@ -89,7 +103,6 @@ fn main() {
     let window = Duration::from_millis(
         std::env::var("MICRO_CONTEND_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
     );
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut entries = Vec::new();
     for &threads in &[1usize, 8] {
         for &shards in &[1usize, 4, 16] {
@@ -99,25 +112,36 @@ fn main() {
                 512 << 20,
                 RallocConfig { partial_shards: shards, ..Default::default() },
             );
-            let _ = churn_throughput(&heap, threads, window / 4); // warmup
+            let _ = churn_throughput(&heap, threads, window / 4, None); // warmup
             // Steal rate over the measured window only — warmup pops
             // (taken while carve state is still populating) would skew it.
             let stats = heap.slow_stats();
             let home0 = stats.partial_pops_home.load(Ordering::Relaxed);
             let steal0 = stats.partial_steals.load(Ordering::Relaxed);
-            let mops = churn_throughput(&heap, threads, window);
+            let lat = Histogram::new();
+            let mops = churn_throughput(&heap, threads, window, Some(&lat));
+            let lat = lat.snapshot();
             let home = stats.partial_pops_home.load(Ordering::Relaxed) - home0;
             let stolen = stats.partial_steals.load(Ordering::Relaxed) - steal0;
             let steal = if home + stolen == 0 { 0.0 } else { stolen as f64 / (home + stolen) as f64 };
             assert_eq!(heap.partial_shards() as usize, shards, "RALLOC_SHARDS override set?");
-            println!("contend x{threads} S={shards}: {mops:.3} Mops/s (steal rate {steal:.3})");
+            println!(
+                "contend x{threads} S={shards}: {mops:.3} Mops/s (steal rate {steal:.3}, \
+                 op ns p50<={} p99<={} p999<={})",
+                lat.p50(),
+                lat.p99(),
+                lat.p999()
+            );
             entries.push(format!(
-                "    {{\"threads\": {threads}, \"shards\": {shards}, \"mops\": {mops:.3}, \"steal_rate\": {steal:.4}}}"
+                "    {{\"threads\": {threads}, \"shards\": {shards}, \"mops\": {mops:.3}, \
+                 \"steal_rate\": {steal:.4}, \"op_latency_ns\": {}}}",
+                lat.to_json()
             ));
         }
     }
     let json = format!(
-        "{{\n  \"bench\": \"micro_contend\",\n  \"unit\": \"Mops/s malloc+free pairs, 14336 B (slow-path-heavy churn)\",\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"micro_contend\",\n  \"unit\": \"Mops/s malloc+free pairs, 14336 B (slow-path-heavy churn)\",\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        bench::meta_with(&[("window_ms", window.as_millis().to_string())]),
         entries.join(",\n")
     );
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");

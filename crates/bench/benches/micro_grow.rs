@@ -32,6 +32,7 @@ use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 use ralloc::{Ralloc, RallocConfig};
+use telemetry::{HistSnapshot, Histogram};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -42,12 +43,17 @@ struct SweepResult {
     grows: u64,
     mean_grow_us: f64,
     max_grow_us: f64,
+    /// Latency distribution over *every* timed malloc of the sweep (the
+    /// grows are its extreme tail — a free byproduct of the per-malloc
+    /// timing the grow attribution already needs).
+    malloc_ns: HistSnapshot,
 }
 
 /// Allocate (and leak) 4 KiB blocks until the heap refuses, timing each
 /// malloc and attributing the ones that moved the grow counter.
 fn sweep(heap: &Ralloc) -> SweepResult {
     let slow = heap.slow_stats();
+    let hist = Histogram::new();
     let mut grow_ns: Vec<u64> = Vec::new();
     let mut grows_before = slow.heap_grows.load(Ordering::Relaxed);
     let mut allocs = 0u64;
@@ -59,6 +65,7 @@ fn sweep(heap: &Ralloc) -> SweepResult {
         if p.is_null() {
             break;
         }
+        hist.observe(dt);
         allocs += 1;
         let grows_now = slow.heap_grows.load(Ordering::Relaxed);
         if grows_now != grows_before {
@@ -74,6 +81,7 @@ fn sweep(heap: &Ralloc) -> SweepResult {
         grows,
         mean_grow_us: if grows == 0 { 0.0 } else { sum as f64 / grows as f64 / 1e3 },
         max_grow_us: grow_ns.iter().max().copied().unwrap_or(0) as f64 / 1e3,
+        malloc_ns: hist.snapshot(),
     }
 }
 
@@ -214,19 +222,22 @@ fn main() {
 
     let json = format!(
         "{{\n  \"bench\": \"micro_grow\",\n  \"unit\": \"Mops/s 4 KiB leak-sweep mallocs\",\n  \
-         \"init_mb\": {init_mb},\n  \"max_mb\": {max_mb},\n  \"host_cores\": {cores},\n  \
+         \"meta\": {},\n  \"init_mb\": {init_mb},\n  \"max_mb\": {max_mb},\n  \
          \"results\": {{\n    \"grows\": {},\n    \"mean_grow_us\": {:.2},\n    \
          \"max_grow_us\": {:.2},\n    \"mops_growing\": {:.3},\n    \
-         \"mops_precommitted\": {:.3},\n    \"growing_vs_precommitted\": {:.4}\n  }},\n  \
+         \"mops_precommitted\": {:.3},\n    \"growing_vs_precommitted\": {:.4},\n    \
+         \"malloc_latency_ns\": {}\n  }},\n  \
          \"storm\": {{\n    \"threads\": {},\n    \"span_mb\": {storm_mb},\n    \
          \"mops\": {:.3},\n    \"grows\": {},\n    \"wall_ms\": {:.2}\n  }},\n  \
          \"shrink\": {{\n    \"released_sb\": {},\n    \"shrink_us\": {:.1}\n  }}\n}}\n",
+        bench::meta(),
         g.grows,
         g.mean_grow_us,
         g.max_grow_us,
         g.mops,
         best_pre,
         ratio,
+        g.malloc_ns.to_json(),
         st.threads,
         st.mops,
         st.grows,

@@ -5,9 +5,11 @@
 //! Besides the criterion groups, this target emits a machine-readable
 //! `BENCH_fastpath.json` at the workspace root: malloc/free pair
 //! throughput (Mops/s) for 1 and 4 threads, persistent vs. transient
-//! configuration. Future PRs compare against it to track the fast-path
-//! trajectory. Set `MICRO_MALLOC_JSON_ONLY=1` to skip the criterion
-//! groups and only refresh the JSON.
+//! configuration, plus a per-pair latency histogram (p50/p99/p999 ns,
+//! measured in a separate timed pass so the clock reads never touch the
+//! throughput loop). Future PRs compare against it to track the
+//! fast-path trajectory. Set `MICRO_MALLOC_JSON_ONLY=1` to skip the
+//! criterion groups and only refresh the JSON.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -18,6 +20,7 @@ use bench::BENCH_CAPACITY;
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use nvm::FlushModel;
 use ralloc::PersistentAllocator;
+use telemetry::{HistSnapshot, Histogram};
 use workloads::{make_allocator, AllocKind, DynAlloc};
 
 fn micro(c: &mut Criterion) {
@@ -85,6 +88,35 @@ fn pair_throughput(alloc: &DynAlloc, threads: usize, window: Duration) -> f64 {
     total as f64 / window.as_secs_f64() / 1e6
 }
 
+/// Per-pair latency distribution: `threads` workers each timing
+/// `pairs`-many individual malloc/free pairs into a shared log2
+/// histogram. Kept separate from `pair_throughput` so the `Instant`
+/// reads around every pair never pollute the throughput number.
+fn pair_latency(alloc: &DynAlloc, threads: usize, pairs: u64) -> HistSnapshot {
+    let hist = Histogram::new();
+    let barrier = Arc::new(Barrier::new(threads));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let alloc = alloc.clone();
+            let hist = hist.clone();
+            let barrier = barrier.clone();
+            s.spawn(move || {
+                let w = alloc.malloc(64);
+                alloc.free(w);
+                barrier.wait();
+                for _ in 0..pairs {
+                    let t0 = std::time::Instant::now();
+                    let p = alloc.malloc(64);
+                    std::hint::black_box(p);
+                    alloc.free(p);
+                    hist.observe_since(t0);
+                }
+            });
+        }
+    });
+    hist.snapshot()
+}
+
 fn emit_fastpath_json() {
     let window = Duration::from_millis(
         std::env::var("MICRO_MALLOC_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(400),
@@ -98,9 +130,18 @@ fn emit_fastpath_json() {
             // One throwaway round to reach steady state.
             let _ = pair_throughput(&a, threads, window / 4);
             let mops = pair_throughput(&a, threads, window);
-            println!("fastpath {name} x{threads}: {mops:.2} Mops/s");
+            let lat = pair_latency(&a, threads, 200_000);
+            println!(
+                "fastpath {name} x{threads}: {mops:.2} Mops/s \
+                 (pair ns p50<={} p99<={} p999<={})",
+                lat.p50(),
+                lat.p99(),
+                lat.p999()
+            );
             entries.push(format!(
-                "    {{\"alloc\": \"{name}\", \"threads\": {threads}, \"mops\": {mops:.3}}}"
+                "    {{\"alloc\": \"{name}\", \"threads\": {threads}, \"mops\": {mops:.3}, \
+                 \"pair_latency_ns\": {}}}",
+                lat.to_json()
             ));
         }
     }
@@ -114,7 +155,8 @@ fn emit_fastpath_json() {
         "    {\"alloc\": \"lrmalloc\", \"threads\": 4, \"mops\": 66.387}"
     );
     let json = format!(
-        "{{\n  \"bench\": \"micro_malloc_fastpath\",\n  \"unit\": \"Mops/s malloc+free pairs, 64 B\",\n  \"results\": [\n{}\n  ],\n  \"baseline_pre_batched_bins\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"micro_malloc_fastpath\",\n  \"unit\": \"Mops/s malloc+free pairs, 64 B\",\n  \"meta\": {},\n  \"results\": [\n{}\n  ],\n  \"baseline_pre_batched_bins\": [\n{}\n  ]\n}}\n",
+        bench::meta_with(&[("window_ms", window.as_millis().to_string())]),
         entries.join(",\n"),
         baseline
     );

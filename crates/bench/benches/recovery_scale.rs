@@ -20,7 +20,7 @@
 
 use std::path::PathBuf;
 
-use ralloc::{Pptr, Ralloc, RallocConfig, Trace, Tracer};
+use ralloc::{Pptr, Ralloc, RallocConfig, ShrinkPolicy, Trace, Tracer};
 
 #[repr(C)]
 struct Node {
@@ -44,9 +44,15 @@ fn env_usize(name: &str, default: usize) -> usize {
 fn main() {
     let target_sbs = env_usize("RECOVERY_SCALE_SBS", 10_500);
     let reps = env_usize("RECOVERY_SCALE_REPS", 3).max(1);
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let heap = Ralloc::create((target_sbs + 64) * ralloc::SB_SIZE, RallocConfig::default());
+    // The end-of-recovery shrink hook would release the (mostly free)
+    // populated span on the first repetition, leaving later repetitions a
+    // tiny heap to sweep — disable it so every recover call rebuilds the
+    // same `target_sbs`-superblock state and the minimum is meaningful.
+    let heap = Ralloc::create(
+        (target_sbs + 64) * ralloc::SB_SIZE,
+        RallocConfig { shrink_policy: ShrinkPolicy::Off, ..Default::default() },
+    );
 
     // Populate from a worker thread that exits before recovery runs:
     // thread exit drains its cache bins, so the recover calls below see
@@ -111,9 +117,15 @@ fn main() {
             "    {{\"workers\": {workers}, \"ms\": {best_ms:.2}, \"reachable_blocks\": {reachable}}}"
         ));
     }
+    // Every recover_parallel call above also observed its duration into
+    // the heap registry's recovery_duration_ns histogram — dump the
+    // all-runs distribution alongside the per-worker bests.
+    let all_runs = heap.telemetry().histogram("recovery_duration_ns").snapshot();
     let json = format!(
-        "{{\n  \"bench\": \"recovery_scale\",\n  \"unit\": \"ms wall-clock offline recovery (best of {reps})\",\n  \"superblocks\": {},\n  \"host_cores\": {cores},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"recovery_scale\",\n  \"unit\": \"ms wall-clock offline recovery (best of {reps})\",\n  \"meta\": {},\n  \"superblocks\": {},\n  \"recovery_latency_ns\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        bench::meta_with(&[("reps", reps.to_string())]),
         heap.used_superblocks(),
+        all_runs.to_json(),
         entries.join(",\n")
     );
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");

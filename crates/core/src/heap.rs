@@ -18,12 +18,14 @@
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use nvm::{CrashInjector, FlushModel, Mode, PmemPool};
+use telemetry::{Counter, EventKind, Journal, Registry, SamplerHandle};
 
 use crate::anchor::{Anchor, SbState};
 use crate::descriptor::{Desc, DescKind};
@@ -216,6 +218,11 @@ impl Default for RallocConfig {
 /// thread pool without bloating the probe ring for single-thread runs.
 pub const DEFAULT_SHARDS: usize = 4;
 
+/// Default event-journal capacity (events; override with
+/// `RALLOC_JOURNAL_CAP`). 4096 covers minutes of slow-path traffic —
+/// the journal records protocol phases, not per-malloc events.
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
 impl RallocConfig {
     /// Config for crash-semantics testing: tracked pool, free flushes.
     pub fn tracked() -> Self {
@@ -236,69 +243,106 @@ impl RallocConfig {
 /// (one per superblock reserved, *not* one per block). Symmetrically for
 /// flushes. [`SlowStats::avg_fill_batch`] and
 /// [`SlowStats::avg_flush_batch`] report the amortization factor.
+///
+/// Every field is a [`telemetry::Counter`] registered by its field name
+/// in the heap's metric [`telemetry::Registry`] (see
+/// [`Ralloc::telemetry`]), so exporters and the soak sampler enumerate
+/// these counters without going through this struct. The `Counter` API
+/// mirrors `AtomicU64` (`fetch_add`/`load`), so existing readers are
+/// unaffected by the migration.
 #[derive(Debug, Default)]
 pub struct SlowStats {
     /// Thread-cache refills from a partial or fresh superblock.
-    pub cache_fills: AtomicU64,
+    pub cache_fills: Counter,
     /// Blocks moved into bins by those refills.
-    pub cache_fill_blocks: AtomicU64,
+    pub cache_fill_blocks: Counter,
     /// Whole-bin flushes back to superblocks.
-    pub cache_flushes: AtomicU64,
+    pub cache_flushes: Counter,
     /// Blocks returned by those flushes.
-    pub cache_flushes_blocks: AtomicU64,
+    pub cache_flushes_blocks: Counter,
     /// Successful anchor CASes performed by fills (batch reservations).
-    pub fill_anchor_cas: AtomicU64,
+    pub fill_anchor_cas: Counter,
     /// Successful anchor CASes performed by flushes (batch returns).
-    pub flush_anchor_cas: AtomicU64,
+    pub flush_anchor_cas: Counter,
     /// Superblocks carved by expanding `used`.
-    pub sb_carved: AtomicU64,
+    pub sb_carved: Counter,
     /// Committed-frontier growths (cold path: each one is a commit + one
     /// persisted metadata word).
-    pub heap_grows: AtomicU64,
+    pub heap_grows: Counter,
     /// Committed-frontier shrinks that released at least one superblock
     /// (quiescent points only: clean close, end of recovery, explicit
     /// [`Ralloc::shrink`]).
-    pub heap_shrinks: AtomicU64,
+    pub heap_shrinks: Counter,
     /// Superblocks released back to the OS by those shrinks.
-    pub sb_released: AtomicU64,
+    pub sb_released: Counter,
     /// Extra partial-list candidates popped by best-fit fills (each probe
     /// also re-pushes its loser, so the CAS cost is 2× this).
-    pub fill_bestfit_probes: AtomicU64,
+    pub fill_bestfit_probes: Counter,
     /// Blocks a churn-policy fill claimed but immediately returned to
     /// their superblock (bounded fill retention; 0 unless
     /// [`RallocConfig::flush_half`]).
-    pub fill_bounded_returns: AtomicU64,
+    pub fill_bounded_returns: Counter,
     /// Cache bins parked whole at thread exit instead of being flushed.
-    pub bin_parks: AtomicU64,
+    pub bin_parks: Counter,
     /// Fills served by adopting a parked bin (zero CASes, zero carves).
-    pub bin_adopts: AtomicU64,
+    pub bin_adopts: Counter,
     /// Fully-empty superblocks reclaimed from partial lists instead of
     /// carving fresh space.
-    pub sb_scavenged: AtomicU64,
+    pub sb_scavenged: Counter,
     /// Fills served by the free-list re-check that follows a failed
     /// scavenge (a concurrent flush/scavenge replenished the list while
     /// our scan was holding descriptors invisible).
-    pub free_recheck_hits: AtomicU64,
+    pub free_recheck_hits: Counter,
     /// Open-addressing probes performed by bulk-flush partitioning.
     /// Small batches use the in-place linear scan and count nothing;
     /// for table-partitioned batches this stays O(batch len) no matter
     /// how many superblocks the bin spans.
-    pub flush_partition_probes: AtomicU64,
+    pub flush_partition_probes: Counter,
     /// Large allocations served.
-    pub large_allocs: AtomicU64,
+    pub large_allocs: Counter,
     /// Fills served by popping the calling thread's *home* shard.
-    pub partial_pops_home: AtomicU64,
+    pub partial_pops_home: Counter,
     /// Fills served by stealing from a neighbor shard (home was empty).
-    pub partial_steals: AtomicU64,
+    pub partial_steals: Counter,
     /// FULL→PARTIAL transitions enlisting a superblock on the pusher's
     /// home shard.
-    pub partial_shard_pushes: AtomicU64,
+    pub partial_shard_pushes: Counter,
     /// Bin overflows resolved by the flush-half policy (0 unless
     /// [`RallocConfig::flush_half`] is set).
-    pub half_flushes: AtomicU64,
+    pub half_flushes: Counter,
 }
 
 impl SlowStats {
+    /// Build the stats with every counter registered (by field name) in
+    /// `reg`, so the registry and this struct are two views of the same
+    /// sharded counters.
+    fn registered(reg: &Registry) -> SlowStats {
+        SlowStats {
+            cache_fills: reg.counter("cache_fills"),
+            cache_fill_blocks: reg.counter("cache_fill_blocks"),
+            cache_flushes: reg.counter("cache_flushes"),
+            cache_flushes_blocks: reg.counter("cache_flushes_blocks"),
+            fill_anchor_cas: reg.counter("fill_anchor_cas"),
+            flush_anchor_cas: reg.counter("flush_anchor_cas"),
+            sb_carved: reg.counter("sb_carved"),
+            heap_grows: reg.counter("heap_grows"),
+            heap_shrinks: reg.counter("heap_shrinks"),
+            sb_released: reg.counter("sb_released"),
+            fill_bestfit_probes: reg.counter("fill_bestfit_probes"),
+            fill_bounded_returns: reg.counter("fill_bounded_returns"),
+            bin_parks: reg.counter("bin_parks"),
+            bin_adopts: reg.counter("bin_adopts"),
+            sb_scavenged: reg.counter("sb_scavenged"),
+            free_recheck_hits: reg.counter("free_recheck_hits"),
+            flush_partition_probes: reg.counter("flush_partition_probes"),
+            large_allocs: reg.counter("large_allocs"),
+            partial_pops_home: reg.counter("partial_pops_home"),
+            partial_steals: reg.counter("partial_steals"),
+            partial_shard_pushes: reg.counter("partial_shard_pushes"),
+            half_flushes: reg.counter("half_flushes"),
+        }
+    }
+
     /// Average blocks obtained per cache fill (0.0 before the first fill).
     pub fn avg_fill_batch(&self) -> f64 {
         let fills = self.cache_fills.load(Ordering::Relaxed);
@@ -358,12 +402,29 @@ pub struct HeapInner {
     committed_safe: AtomicU64,
     /// Bumped by crash simulation so stale thread caches are discarded.
     generation: AtomicU64,
+    /// Thread-exit cache drains in flight. A thread's TLS destructor runs
+    /// *after* the thread is observably finished (e.g. after
+    /// `thread::scope` returns, which only waits for the closure), so its
+    /// cache flush can land in the middle of a quiescent-point operation
+    /// on another thread. Destructors bracket their drain with
+    /// `begin/end_exit_drain`; recovery retires pre-recovery caches and
+    /// waits this count out (`quiesce_caches`), close and explicit shrink
+    /// wait it out (`await_exit_drains`).
+    exit_drains: AtomicUsize,
     closed: AtomicBool,
     file: Option<PathBuf>,
     /// Transient per-root filter functions (paper's `rootsFunc`),
     /// re-registered each run by `get_root<T>`.
     pub(crate) root_fns: Mutex<HashMap<usize, TraceFn>>,
     pub(crate) slow: SlowStats,
+    /// The heap's metric registry ([`SlowStats`] plus recovery gauges
+    /// and any histograms callers hang off it); `heap` scope in exports.
+    pub(crate) telemetry: Registry,
+    /// Ring buffer of persistence-protocol events (grow/shrink phases,
+    /// recovery phases, fill/flush/steal/carve).
+    pub(crate) journal: Journal,
+    /// Background JSONL sampler, when started (env knob or API).
+    sampler: Mutex<Option<SamplerHandle>>,
 }
 
 impl HeapInner {
@@ -380,6 +441,39 @@ impl HeapInner {
     #[inline]
     pub(crate) fn is_closed(&self) -> bool {
         self.closed.load(Ordering::Acquire)
+    }
+
+    /// Announce a thread-exit cache drain and read the state that decides
+    /// whether it may flush: `(generation, closed)`. SeqCst pairs this
+    /// with [`HeapInner::quiesce_caches`]: a destructor either reads the
+    /// old generation — and then its increment is visible to the waiter,
+    /// which blocks until [`HeapInner::end_exit_drain`] — or reads the new
+    /// one and flushes nothing.
+    pub(crate) fn begin_exit_drain(&self) -> (u64, bool) {
+        self.exit_drains.fetch_add(1, Ordering::SeqCst);
+        (self.generation.load(Ordering::SeqCst), self.closed.load(Ordering::SeqCst))
+    }
+
+    pub(crate) fn end_exit_drain(&self) {
+        self.exit_drains.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Retire every thread cache stamped before this point (their blocks
+    /// are about to be re-derived from the roots, exactly as after a
+    /// crash) and wait out exit drains that passed the generation check
+    /// first. Recovery's entry step.
+    pub(crate) fn quiesce_caches(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        self.await_exit_drains();
+    }
+
+    /// Wait for in-flight thread-exit drains without invalidating caches
+    /// (close and explicit shrink *want* exiting threads' blocks flushed
+    /// — just not concurrently with their own list scan).
+    pub(crate) fn await_exit_drains(&self) {
+        while self.exit_drains.load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
     }
 
     #[inline]
@@ -469,6 +563,44 @@ impl HeapInner {
         self.geo.committed_sb(self.committed_safe.load(Ordering::Acquire) as usize)
     }
 
+    /// One flat JSON time-series line for the sampler (JSONL schema; see
+    /// the README's Observability section). Key names are stable — CI
+    /// asserts `committed_len`, `fills`, `flushes`, `steals` exist and
+    /// behave (present every line, monotone where monotone).
+    pub(crate) fn sample_line(&self) -> String {
+        let s = &self.slow;
+        let pm = self.pool.stats().snapshot();
+        format!(
+            "{{\"t_ms\": {}, \"heap_id\": {}, \"committed_len\": {}, \"committed_sb\": {}, \
+             \"used_sb\": {}, \"fills\": {}, \"fill_blocks\": {}, \"flushes\": {}, \
+             \"flush_blocks\": {}, \"steals\": {}, \"home_pops\": {}, \"steal_rate\": {:.4}, \
+             \"carved\": {}, \"grows\": {}, \"shrinks\": {}, \"sb_released\": {}, \
+             \"large_allocs\": {}, \"pmem_flush_lines\": {}, \"pmem_flush_calls\": {}, \
+             \"pmem_fences\": {}, \"journal_events\": {}}}",
+            telemetry::now_ms(),
+            self.id,
+            self.committed_safe.load(Ordering::Acquire),
+            self.committed_sb(),
+            self.used_sb(),
+            s.cache_fills.get(),
+            s.cache_fill_blocks.get(),
+            s.cache_flushes.get(),
+            s.cache_flushes_blocks.get(),
+            s.partial_steals.get(),
+            s.partial_pops_home.get(),
+            s.steal_rate(),
+            s.sb_carved.get(),
+            s.heap_grows.get(),
+            s.heap_shrinks.get(),
+            s.sb_released.get(),
+            s.large_allocs.get(),
+            pm.flush_lines,
+            pm.flush_calls,
+            pm.fences,
+            self.journal.recorded(),
+        )
+    }
+
     /// Refresh the safe frontier from the durable frontier word (offline
     /// use: recovery entry). After a crash the word holds the last fenced
     /// value, which is always >= the published safe frontier, and an
@@ -526,7 +658,9 @@ impl HeapInner {
                 }
             }
             self.persist(COMMITTED_LEN_OFF, 8);
+            self.journal.record(EventKind::GrowCommit, target as u64, 0);
             self.committed_safe.fetch_max(target as u64, Ordering::AcqRel);
+            self.journal.record(EventKind::GrowPublish, target as u64, 0);
             self.slow.heap_grows.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -630,6 +764,7 @@ impl HeapInner {
         let target = self.geo.committed_len_for_sb(new_used);
         debug_assert!(target >= self.geo.min_committed());
         self.committed_safe.store(target as u64, Ordering::Release);
+        self.journal.record(EventKind::ShrinkUnpublish, target as u64, new_used as u64);
         // Step 3: CAS-min the durable frontier word, then persist it.
         // SAFETY: metadata word.
         let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) };
@@ -645,6 +780,11 @@ impl HeapInner {
         // Step 4: release the tail.
         self.pool.decommit_to(target);
         let released = committed_before.saturating_sub(new_used);
+        self.journal.record(
+            EventKind::ShrinkDecommit,
+            (released * SB_SIZE) as u64,
+            target as u64,
+        );
         self.slow.heap_shrinks.fetch_add(1, Ordering::Relaxed);
         self.slow.sb_released.fetch_add(released as u64, Ordering::Relaxed);
         released
@@ -742,6 +882,7 @@ impl HeapInner {
             {
                 self.persist(USED_SB_OFF, 8);
                 self.slow.sb_carved.fetch_add(n as u64, Ordering::Relaxed);
+                self.journal.record(EventKind::Carve, u, n as u64);
                 return Some(u as u32);
             }
         }
@@ -770,6 +911,7 @@ impl HeapInner {
                 self.slow.bin_adopts.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fill_blocks.fetch_add(warm.len() as u64, Ordering::Relaxed);
+                self.journal.record(EventKind::Fill, warm.len() as u64, class as u64);
                 *bin = warm;
                 return true;
             }
@@ -854,6 +996,7 @@ impl HeapInner {
                 }
                 if pop.stolen {
                     self.slow.partial_steals.fetch_add(1, Ordering::Relaxed);
+                    self.journal.record(EventKind::Steal, idx as u64, class as u64);
                 } else {
                     self.slow.partial_pops_home.fetch_add(1, Ordering::Relaxed);
                 }
@@ -902,6 +1045,7 @@ impl HeapInner {
                 }
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fill_blocks.fetch_add(keep_n as u64, Ordering::Relaxed);
+                self.journal.record(EventKind::Fill, keep_n as u64, class as u64);
                 return true;
             }
             // No partial superblock: take a free one, scavenge an empty
@@ -970,6 +1114,7 @@ impl HeapInner {
             }
             self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
             self.slow.cache_fill_blocks.fetch_add(keep as u64, Ordering::Relaxed);
+            self.journal.record(EventKind::Fill, keep as u64, class as u64);
             return true;
         }
     }
@@ -1197,6 +1342,7 @@ impl HeapInner {
         }
         self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
         self.slow.cache_flushes_blocks.fetch_add(n, Ordering::Relaxed);
+        self.journal.record(EventKind::Flush, n, 0);
         self.flush_blocks(bin.blocks_mut());
         bin.clear();
     }
@@ -1214,6 +1360,7 @@ impl HeapInner {
         self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
         self.slow.cache_flushes_blocks.fetch_add(half as u64, Ordering::Relaxed);
         self.slow.half_flushes.fetch_add(1, Ordering::Relaxed);
+        self.journal.record(EventKind::Flush, half as u64, 0);
         self.flush_blocks(&mut bin.blocks_mut()[..half]);
         bin.drain_front(half);
     }
@@ -1540,7 +1687,10 @@ impl Ralloc {
         // build time (fresh: about to be persisted before first use;
         // adopted: backed by the file), so carving may use all of it.
         let committed_safe = AtomicU64::new(pool.committed_len() as u64);
-        Ralloc {
+        let telemetry = Registry::new();
+        let slow = SlowStats::registered(&telemetry);
+        let journal_cap = shard::env_size("RALLOC_JOURNAL_CAP").unwrap_or(DEFAULT_JOURNAL_CAP);
+        let heap = Ralloc {
             inner: Arc::new(HeapInner {
                 pool,
                 geo,
@@ -1556,12 +1706,27 @@ impl Ralloc {
                 parked: std::array::from_fn(|_| Mutex::new(Vec::new())),
                 committed_safe,
                 generation: AtomicU64::new(0),
+                exit_drains: AtomicUsize::new(0),
                 closed: AtomicBool::new(false),
                 file,
                 root_fns: Mutex::new(HashMap::new()),
-                slow: SlowStats::default(),
+                slow,
+                telemetry,
+                journal: Journal::with_capacity(journal_cap),
+                sampler: Mutex::new(None),
             }),
+        };
+        // RALLOC_TELEMETRY=<path> starts the background JSONL sampler on
+        // every heap this process opens (interval RALLOC_TELEMETRY_MS,
+        // default 200). Heap ids keep concurrent heaps' files distinct.
+        if let Ok(base) = std::env::var("RALLOC_TELEMETRY") {
+            if !base.is_empty() {
+                let interval = shard::env_size("RALLOC_TELEMETRY_MS").unwrap_or(200).max(1);
+                let path = if heap.inner.id > 1 { format!("{base}.{}", heap.inner.id) } else { base };
+                let _ = heap.start_sampler(path, Duration::from_millis(interval as u64));
+            }
         }
+        heap
     }
 
     // ------------------------------------------------------- allocation
@@ -1706,9 +1871,16 @@ impl Ralloc {
     /// exit).
     pub fn close(&self) -> io::Result<()> {
         let inner = &*self.inner;
+        // A final sample then a joined stop: the time series ends with
+        // the post-drain state instead of dangling mid-run.
+        self.stop_sampler();
         tcache::drain_current_thread(inner);
         // Nothing cached survives a clean shutdown: bins parked by exited
-        // threads flush back too (maximizing the shrink below).
+        // threads flush back too (maximizing the shrink below). Exit
+        // drains still in flight (TLS destructors outlive `scope` joins)
+        // finish first, so their flushes land before the scan and
+        // write-back rather than during.
+        inner.await_exit_drains();
         inner.flush_parked();
         // Quiescent point: release the trailing fully-free run while the
         // heap is still marked dirty, so a crash mid-shrink triggers a
@@ -1746,6 +1918,7 @@ impl Ralloc {
     /// (as at [`Ralloc::close`]) so their blocks don't pin superblocks
     /// through the scan.
     pub fn shrink(&self) -> usize {
+        self.inner.await_exit_drains();
         self.inner.flush_parked();
         self.inner.shrink_quiesced()
     }
@@ -1775,6 +1948,10 @@ impl Ralloc {
     /// then rebuild all transient metadata. Call `get_root<T>` for every
     /// live root first, as the paper requires; unregistered roots fall
     /// back to conservative tracing.
+    ///
+    /// Every thread cache is invalidated on entry: cached blocks are
+    /// unreachable from the roots, so the rebuild reclaims them — the
+    /// crash semantics recovery models even when called on a live heap.
     pub fn recover(&self) -> crate::recovery::RecoveryStats {
         crate::recovery::recover(&self.inner)
     }
@@ -1796,6 +1973,80 @@ impl Ralloc {
     /// Slow-path event counters.
     pub fn slow_stats(&self) -> &SlowStats {
         &self.inner.slow
+    }
+
+    // ------------------------------------------------------- telemetry
+
+    /// The heap's metric registry: every [`SlowStats`] counter by name,
+    /// plus recovery gauges and any metrics callers register themselves
+    /// (e.g. a workload's latency [`telemetry::Histogram`]).
+    pub fn telemetry(&self) -> &Registry {
+        &self.inner.telemetry
+    }
+
+    /// The persistence-protocol event journal (grow/shrink phases,
+    /// recovery phases, fill/flush/steal/carve; see
+    /// [`telemetry::EventKind`]).
+    pub fn journal(&self) -> &Journal {
+        &self.inner.journal
+    }
+
+    /// One JSON object capturing the full telemetry state: the heap and
+    /// pmem registries (scopes `heap` / `pmem`), frontier gauges, and
+    /// the resident journal events.
+    pub fn telemetry_snapshot(&self) -> String {
+        let inner = &*self.inner;
+        format!(
+            "{{\"t_ms\": {}, \"heap_id\": {}, \"used_sb\": {}, \"committed_sb\": {}, \
+             \"committed_len\": {}, \"registries\": {}, \"journal\": {}}}",
+            telemetry::now_ms(),
+            inner.id,
+            inner.used_sb(),
+            inner.committed_sb(),
+            inner.committed_safe.load(Ordering::Acquire),
+            telemetry::export::to_json(&[
+                ("heap", &inner.telemetry),
+                ("pmem", inner.pool.stats().registry()),
+            ]),
+            inner.journal.to_json(),
+        )
+    }
+
+    /// The same state in Prometheus text exposition format (scrape
+    /// endpoint material; the journal has no Prometheus form).
+    pub fn telemetry_prometheus(&self) -> String {
+        telemetry::export::to_prometheus(&[
+            ("heap", &self.inner.telemetry),
+            ("pmem", self.inner.pool.stats().registry()),
+        ])
+    }
+
+    /// Start a background sampler appending one time-series line to
+    /// `path` every `interval` (JSONL; see [`HeapInner::sample_line`]'s
+    /// schema in the README's Observability section). Also reachable via
+    /// `RALLOC_TELEMETRY=<path>` / `RALLOC_TELEMETRY_MS=<ms>` at open.
+    /// Replaces any sampler already running on this heap. The sampler
+    /// holds only a weak reference: it retires when the heap drops, and
+    /// [`Ralloc::close`] stops it.
+    pub fn start_sampler(
+        &self,
+        path: impl AsRef<Path>,
+        interval: Duration,
+    ) -> io::Result<()> {
+        let weak = Arc::downgrade(&self.inner);
+        let handle = SamplerHandle::start(path, interval, move || {
+            weak.upgrade().map(|inner| inner.sample_line())
+        })?;
+        *self.inner.sampler.lock() = Some(handle);
+        Ok(())
+    }
+
+    /// Stop and join the background sampler, if one is running.
+    pub fn stop_sampler(&self) {
+        let handle = self.inner.sampler.lock().take();
+        if let Some(mut handle) = handle {
+            handle.stop();
+        }
     }
 
     /// Heap geometry.
@@ -1892,6 +2143,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn fresh_fill_batches_whole_superblock_no_cas_one_flush() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as u64; // 64 B class: 1024 blocks
@@ -1911,6 +2163,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn partial_fill_batches_with_exactly_one_cas_zero_flushes() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;
@@ -1943,6 +2196,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn bin_overflow_flushes_whole_bin_one_cas_per_superblock() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;
@@ -1974,6 +2228,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn mixed_superblock_flush_one_cas_per_group() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;
@@ -1996,6 +2251,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn scavenge_reuses_empty_superblock_stranded_on_partial_list() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;
@@ -2022,6 +2278,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn flush_half_policy_returns_older_half_and_keeps_the_rest() {
         let heap =
             Ralloc::create(8 << 20, RallocConfig { flush_half: true, ..Default::default() });
@@ -2049,6 +2306,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn sharded_fill_counters_account_home_and_steals() {
         // Single-threaded: every partial pop is a home hit, never a steal.
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
@@ -2066,6 +2324,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn small_initial_commit_grows_on_demand_and_stops_at_reserve() {
         let heap = Ralloc::create(
             4 << 20,
@@ -2113,6 +2372,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn grow_persists_frontier_before_used() {
         // In Tracked mode, after any quiescent moment the persisted
         // frontier word must cover the persisted `used` — the ordering
@@ -2151,6 +2411,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn grouped_flush_partition_is_linear_in_batch_size() {
         let heap = Ralloc::create(32 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;
@@ -2246,6 +2507,7 @@ mod batch_tests {
     }
 
     #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn batched_return_transitions_full_to_empty_and_retires() {
         let heap = Ralloc::create(8 << 20, RallocConfig::default());
         let mc = class_max_count(8) as usize;

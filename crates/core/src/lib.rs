@@ -63,6 +63,10 @@ pub use size_class::{MAX_SMALL, SB_SIZE};
 // Re-export the substrate types callers need to configure a heap.
 pub use nvm::{CrashInjector, CrashStyle, FlushModel, Mode};
 pub use pptr::{AtomicPptr, Pptr};
+// Re-export the whole observability layer: callers register their own
+// metrics on `Ralloc::telemetry()` and read the journal/exporters
+// without a separate dependency.
+pub use telemetry;
 
 /// The allocator interface shared by Ralloc and every baseline, used by
 /// the data-structure and workload crates so a benchmark can swap

@@ -155,7 +155,17 @@ impl DescList {
                 .checked_sub(1)
                 .map(|i| i as u32);
             if out.len() > geo.max_sb {
-                panic!("descriptor list cycle detected");
+                // Diagnose rather than loop forever: name the first
+                // revisited descriptor, since a cycle here means a link
+                // word was overwritten while the list was live.
+                let mut seen = std::collections::HashSet::new();
+                let first_dup = out.iter().find(|&&i| !seen.insert(i)).copied();
+                panic!(
+                    "descriptor list cycle detected: head_word={:#x} len={} first_dup={:?}",
+                    self.head(pool).load(Ordering::Relaxed),
+                    out.len(),
+                    first_dup,
+                );
             }
         }
         out

@@ -56,6 +56,8 @@
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
+use telemetry::EventKind;
+
 use crate::anchor::{Anchor, SbState};
 use crate::descriptor::{Desc, DescKind};
 use crate::gc::{MarkSet, TraceFn, Tracer};
@@ -66,6 +68,13 @@ use crate::shard::{place_superblock, ShardedPartial};
 use crate::size_class::{class_block_size, class_max_count, NUM_CLASSES};
 
 /// What recovery found and rebuilt.
+///
+/// Also published to the heap's metric [`telemetry::Registry`] (see
+/// [`crate::Ralloc::telemetry`]) as `recovery_*` gauges plus a
+/// `recovery_duration_ns` histogram (one sample per recovery), and to
+/// the event journal as a `recovery_reconcile` → `recovery_sweep` →
+/// `recovery_splice` phase trace — this struct is the per-call return
+/// value, the registry is the exportable view.
 #[derive(Debug, Clone, Default)]
 pub struct RecoveryStats {
     /// Blocks reachable from the persistent roots (kept allocated).
@@ -112,6 +121,15 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     let used = inner.used_sb();
     let threads = threads.max(1);
 
+    // Invalidate every thread cache populated before this point and wait
+    // out thread-exit drains already in flight. Cached blocks are
+    // unreachable from the roots, so the sweep below reclaims them — the
+    // same semantics a real crash gives DRAM caches. Without the wait, a
+    // just-joined worker's TLS destructor (which runs *after* its
+    // `thread::scope` closure returns) could flush its bins into the
+    // lists this function is about to reset and rebuild.
+    inner.quiesce_caches();
+
     // Frontier reconciliation (reserve/commit model): the durable
     // frontier word is the surviving truth after a crash; refresh the
     // runtime safe-frontier from it, and validate that the used prefix —
@@ -140,6 +158,7 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     for class in 0..NUM_CLASSES as u32 {
         ShardedPartial::new(class, inner.shards()).reset_all(pool, geo);
     }
+    inner.journal.record(EventKind::RecoveryReconcile, used as u64, threads as u64);
 
     // Gather the registered roots (step 4 already happened via get_root).
     let mut roots: Vec<(usize, Option<TraceFn>)> = Vec::new();
@@ -267,6 +286,12 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
             stats.full_superblocks += full;
         }
     }
+    inner.journal.record(EventKind::RecoverySweep, stats.reachable_blocks, used as u64);
+    inner.journal.record(
+        EventKind::RecoverySplice,
+        stats.partial_superblocks as u64,
+        stats.free_superblocks as u64,
+    );
 
     // Quiescent-point shrink (the recovery half of the bidirectional
     // frontier): the sweep just rebuilt the lists, so the trailing run of
@@ -289,6 +314,18 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
     }
 
     stats.duration = t0.elapsed();
+
+    // Publish the exportable view: last-recovery gauges plus one
+    // duration sample, so snapshots and the Prometheus dump carry
+    // recovery results without holding this struct.
+    let reg = &inner.telemetry;
+    reg.gauge("recovery_reachable_blocks").set(stats.reachable_blocks as i64);
+    reg.gauge("recovery_free_superblocks").set(stats.free_superblocks as i64);
+    reg.gauge("recovery_partial_superblocks").set(stats.partial_superblocks as i64);
+    reg.gauge("recovery_full_superblocks").set(stats.full_superblocks as i64);
+    reg.gauge("recovery_threads").set(stats.threads as i64);
+    reg.histogram("recovery_duration_ns").observe(stats.duration.as_nanos() as u64);
+
     stats
 }
 

@@ -166,12 +166,23 @@ impl Drop for TlsStore {
         FAST.set((0, std::ptr::null_mut()));
         for entry in &mut self.entries {
             if let Some(heap) = entry.weak.upgrade() {
-                // Return blocks only if the heap has not crashed or closed
-                // since they were cached. Thread exit parks the bins for
-                // adoption by future threads (bounded retention).
-                if heap.generation() == entry.generation && !heap.is_closed() {
+                // Return blocks only if the heap has not crashed, recovered,
+                // or closed since they were cached. Thread exit parks the
+                // bins for adoption by future threads (bounded retention).
+                //
+                // TLS destructors run during OS thread teardown — *after*
+                // the thread looks finished to joiners (`thread::scope`
+                // returns when the closure does), so this drain can race a
+                // quiescent-point operation that the joining thread starts
+                // next. The begin/end bracket is the rendezvous: recovery
+                // bumps the generation and waits out announced drains, so
+                // a flush here either completes before recovery resets the
+                // lists or never starts.
+                let (generation, closed) = heap.begin_exit_drain();
+                if generation == entry.generation && !closed {
                     heap.drain_tls(entry, true);
                 }
+                heap.end_exit_drain();
             }
         }
     }

@@ -5,16 +5,48 @@
 //! *zero* flushes. These counters let tests and the ablation benchmarks
 //! verify that claim quantitatively (flushes-per-operation for each
 //! allocator) instead of inferring it from wall-clock time alone.
+//!
+//! The counters live in a [`telemetry::Registry`] (one per pool), so the
+//! JSON/Prometheus exporters and the soak sampler enumerate them by name
+//! (`flush_lines`, `flush_calls`, `fences`, `modeled_ns`) alongside the
+//! heap's metrics. [`PmemStats`] is a thin typed view over that registry:
+//! its snapshot API is unchanged, and writes go to sharded lock-free
+//! counters (see [`telemetry::Counter`]).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use telemetry::{Counter, Registry};
 
-/// Monotonic counters of persistence activity on a pool.
-#[derive(Debug, Default)]
+/// Monotonic counters of persistence activity on a pool. A view over the
+/// pool's metric [`Registry`] — see module docs.
 pub struct PmemStats {
-    flush_lines: AtomicU64,
-    flush_calls: AtomicU64,
-    fences: AtomicU64,
-    modeled_ns: AtomicU64,
+    registry: Registry,
+    flush_lines: Counter,
+    flush_calls: Counter,
+    fences: Counter,
+    modeled_ns: Counter,
+}
+
+impl Default for PmemStats {
+    fn default() -> Self {
+        let registry = Registry::new();
+        PmemStats {
+            flush_lines: registry.counter("flush_lines"),
+            flush_calls: registry.counter("flush_calls"),
+            fences: registry.counter("fences"),
+            modeled_ns: registry.counter("modeled_ns"),
+            registry,
+        }
+    }
+}
+
+impl std::fmt::Debug for PmemStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PmemStats")
+            .field("flush_lines", &self.flush_lines.get())
+            .field("flush_calls", &self.flush_calls.get())
+            .field("fences", &self.fences.get())
+            .field("modeled_ns", &self.modeled_ns.get())
+            .finish()
+    }
 }
 
 /// A point-in-time copy of [`PmemStats`].
@@ -35,34 +67,40 @@ pub struct PmemStatsSnapshot {
 
 impl PmemStats {
     pub(crate) fn record_flush(&self, lines: usize, charged_ns: u64) {
-        self.flush_lines.fetch_add(lines as u64, Ordering::Relaxed);
-        self.flush_calls.fetch_add(1, Ordering::Relaxed);
-        self.modeled_ns.fetch_add(charged_ns, Ordering::Relaxed);
+        self.flush_lines.add(lines as u64);
+        self.flush_calls.inc();
+        self.modeled_ns.add(charged_ns);
     }
 
     pub(crate) fn record_fence(&self, charged_ns: u64) {
-        self.fences.fetch_add(1, Ordering::Relaxed);
-        self.modeled_ns.fetch_add(charged_ns, Ordering::Relaxed);
+        self.fences.inc();
+        self.modeled_ns.add(charged_ns);
+    }
+
+    /// The pool's metric registry, for exporters (`pmem` scope in
+    /// [`telemetry::export::to_json`] dumps).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Read all counters.
     pub fn snapshot(&self) -> PmemStatsSnapshot {
         PmemStatsSnapshot {
-            flush_lines: self.flush_lines.load(Ordering::Relaxed),
-            flush_calls: self.flush_calls.load(Ordering::Relaxed),
-            fences: self.fences.load(Ordering::Relaxed),
-            modeled_ns: self.modeled_ns.load(Ordering::Relaxed),
+            flush_lines: self.flush_lines.get(),
+            flush_calls: self.flush_calls.get(),
+            fences: self.fences.get(),
+            modeled_ns: self.modeled_ns.get(),
         }
     }
 
     /// Total cache lines flushed so far.
     pub fn flush_lines(&self) -> u64 {
-        self.flush_lines.load(Ordering::Relaxed)
+        self.flush_lines.get()
     }
 
     /// Total fences so far.
     pub fn fences(&self) -> u64 {
-        self.fences.load(Ordering::Relaxed)
+        self.fences.get()
     }
 }
 
@@ -79,6 +117,7 @@ impl PmemStatsSnapshot {
 }
 
 #[cfg(test)]
+#[cfg(not(feature = "telemetry-off"))]
 mod tests {
     use super::*;
 
@@ -108,5 +147,14 @@ mod tests {
         assert_eq!(d.flush_calls, 1);
         assert_eq!(d.fences, 1);
         assert_eq!(d.modeled_ns, 100);
+    }
+
+    #[test]
+    fn registry_enumerates_the_counters() {
+        let s = PmemStats::default();
+        s.record_flush(3, 20);
+        assert_eq!(s.registry().counter_value("flush_lines"), Some(3));
+        assert_eq!(s.registry().counter_value("flush_calls"), Some(1));
+        assert_eq!(s.registry().counter_value("fences"), Some(0));
     }
 }

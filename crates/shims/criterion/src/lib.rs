@@ -49,6 +49,12 @@ pub struct BenchResult {
     pub id: String,
     /// Median nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// p50 over the per-sample ns/iter distribution (== the median).
+    pub p50_ns: f64,
+    /// p99 over the per-sample ns/iter distribution. With the default
+    /// 10-20 samples this is effectively the worst sample — a tail
+    /// indicator, not a precise quantile.
+    pub p99_ns: f64,
     /// Total iterations executed across all samples.
     pub iterations: u64,
 }
@@ -210,8 +216,21 @@ fn run_bench(
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median_s = samples[samples.len() / 2];
     let ns = median_s * 1e9;
-    println!("bench  {id:<56} {ns:>12.1} ns/iter  ({:.2} Mops/s)", 1e3 / ns.max(1e-9));
-    BenchResult { id: id.to_string(), ns_per_iter: ns, iterations: total_iters }
+    // Rank-based percentile over the sample distribution (nearest-rank,
+    // same convention as telemetry::HistSnapshot::percentile).
+    let rank = |q: f64| ((q * samples.len() as f64).ceil() as usize).max(1) - 1;
+    let p99 = samples[rank(0.99)] * 1e9;
+    println!(
+        "bench  {id:<56} {ns:>12.1} ns/iter  ({:.2} Mops/s, p99 sample {p99:.1} ns)",
+        1e3 / ns.max(1e-9)
+    );
+    BenchResult {
+        id: id.to_string(),
+        ns_per_iter: ns,
+        p50_ns: ns,
+        p99_ns: p99,
+        iterations: total_iters,
+    }
 }
 
 /// Define `pub fn $group_name()` running the listed bench functions.
@@ -252,6 +271,7 @@ mod tests {
         g.finish();
         assert_eq!(c.results().len(), 2);
         assert!(c.results().iter().all(|r| r.ns_per_iter > 0.0));
+        assert!(c.results().iter().all(|r| r.p99_ns >= r.p50_ns));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Exporters: JSON snapshot and Prometheus text format.
+//!
+//! Both take a list of `(scope, registry)` pairs so one dump can combine
+//! the heap's registry with its pmem pool's; the scope becomes the JSON
+//! object key / the Prometheus name prefix.
+
+use crate::registry::{Metric, Registry};
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// A JSON object with one sub-object per scope; counters and gauges
+/// export as numbers, histograms as `{count, sum, mean, p50, p99, p999,
+/// buckets: [[upper, count], ...]}`.
+pub fn to_json(scopes: &[(&str, &Registry)]) -> String {
+    let mut s = String::from("{");
+    for (si, (scope, reg)) in scopes.iter().enumerate() {
+        if si > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("\"{}\": {{", json_escape(scope)));
+        for (mi, (name, metric)) in reg.entries().iter().enumerate() {
+            if mi > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{}\": ", json_escape(name)));
+            match metric {
+                Metric::Counter(c) => s.push_str(&c.get().to_string()),
+                Metric::Gauge(g) => s.push_str(&g.get().to_string()),
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let buckets: Vec<String> = snap
+                        .nonzero_buckets()
+                        .iter()
+                        .map(|(upper, n)| format!("[{upper}, {n}]"))
+                        .collect();
+                    s.push_str(&format!(
+                        "{{\"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [{}]}}",
+                        snap.count,
+                        snap.sum,
+                        snap.mean(),
+                        snap.p50(),
+                        snap.p99(),
+                        snap.p999(),
+                        buckets.join(", ")
+                    ));
+                }
+            }
+        }
+        s.push('}');
+    }
+    s.push('}');
+    s
+}
+
+fn prom_name(scope: &str, name: &str) -> String {
+    let mut out = String::with_capacity(scope.len() + name.len() + 1);
+    for c in scope.chars().chain(std::iter::once('_')).chain(name.chars()) {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
+}
+
+/// Prometheus text exposition format (`# TYPE` lines, `_bucket{le=...}` /
+/// `_sum` / `_count` series for histograms with cumulative `le` edges).
+pub fn to_prometheus(scopes: &[(&str, &Registry)]) -> String {
+    let mut s = String::new();
+    for (scope, reg) in scopes {
+        for (name, metric) in reg.entries() {
+            let full = prom_name(scope, name);
+            match metric {
+                Metric::Counter(c) => {
+                    s.push_str(&format!("# TYPE {full} counter\n{full} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    s.push_str(&format!("# TYPE {full} gauge\n{full} {}\n", g.get()));
+                }
+                Metric::Histogram(h) => {
+                    let snap = h.snapshot();
+                    s.push_str(&format!("# TYPE {full} histogram\n"));
+                    let mut cum = 0u64;
+                    for (upper, n) in snap.nonzero_buckets() {
+                        cum += n;
+                        s.push_str(&format!("{full}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                    }
+                    s.push_str(&format!("{full}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+                    s.push_str(&format!("{full}_sum {}\n", snap.sum));
+                    s.push_str(&format!("{full}_count {}\n", snap.count));
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+#[cfg(not(feature = "telemetry-off"))]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("fills").add(42);
+        reg.gauge("committed_len").set(1 << 20);
+        let h = reg.histogram("malloc_ns");
+        for v in [10u64, 20, 30, 1000, 5000] {
+            h.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let reg = sample_registry();
+        let dump = to_json(&[("heap", &reg)]);
+        let v = json::parse(&dump).expect("exporter output must be valid JSON");
+        let heap = v.get("heap").expect("scope object");
+        assert_eq!(heap.get("fills").and_then(|v| v.as_u64()), Some(42));
+        assert_eq!(heap.get("committed_len").and_then(|v| v.as_i64()), Some(1 << 20));
+        let hist = heap.get("malloc_ns").expect("histogram object");
+        assert_eq!(hist.get("count").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(hist.get("sum").and_then(|v| v.as_u64()), Some(6060));
+        assert!(hist.get("p50").and_then(|v| v.as_u64()).unwrap() >= 20);
+        assert!(hist.get("buckets").unwrap().as_array().unwrap().len() >= 3);
+    }
+
+    #[test]
+    fn json_combines_scopes() {
+        let r1 = sample_registry();
+        let r2 = Registry::new();
+        r2.counter("fences").add(7);
+        let dump = to_json(&[("heap", &r1), ("pmem", &r2)]);
+        let v = json::parse(&dump).unwrap();
+        assert!(v.get("heap").is_some());
+        assert_eq!(
+            v.get("pmem").and_then(|p| p.get("fences")).and_then(|v| v.as_u64()),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn prometheus_format_lines() {
+        let reg = sample_registry();
+        let dump = to_prometheus(&[("heap", &reg)]);
+        assert!(dump.contains("# TYPE heap_fills counter\nheap_fills 42\n"));
+        assert!(dump.contains("# TYPE heap_committed_len gauge\nheap_committed_len 1048576\n"));
+        assert!(dump.contains("# TYPE heap_malloc_ns histogram\n"));
+        assert!(dump.contains("heap_malloc_ns_bucket{le=\"+Inf\"} 5\n"));
+        assert!(dump.contains("heap_malloc_ns_sum 6060\n"));
+        assert!(dump.contains("heap_malloc_ns_count 5\n"));
+        // Bucket counts are cumulative and non-decreasing.
+        let counts: Vec<u64> = dump
+            .lines()
+            .filter(|l| l.starts_with("heap_malloc_ns_bucket{le=\"") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn prometheus_sanitizes_names() {
+        assert_eq!(prom_name("heap-0", "fill.rate"), "heap_0_fill_rate");
+    }
+}

@@ -1,0 +1,132 @@
+//! # telemetry — the unified observability layer
+//!
+//! Every measurement claim this repository makes — zero-flush fast paths,
+//! one-CAS fills, millisecond recovery — is only as good as the
+//! instrumentation behind it. This crate is that instrumentation, shared
+//! by the allocator core, the persistence substrate, the benches, and the
+//! examples:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Histogram`] — lock-free metric
+//!   primitives. Counters are sharded over cache-line-padded relaxed
+//!   atomics (no CAS, no contention between threads on different shards);
+//!   histograms are log2-bucketed with p50/p99/p999 readout. All writes
+//!   compile to no-ops under the `telemetry-off` feature.
+//! * [`Registry`] — metrics registered by static name, so exporters can
+//!   enumerate them without the owning struct's cooperation. One registry
+//!   per heap (plus one per pmem pool): independent heaps never share
+//!   counters.
+//! * [`Journal`] — a bounded lock-free ring buffer of persistence-protocol
+//!   events (grow commit/publish, shrink unpublish/decommit, recovery
+//!   phases, fill/flush/steal) with monotonic timestamps, so a failed
+//!   crash sweep or a latency spike can be replayed as an ordered trace.
+//! * [`export`] — JSON snapshot and Prometheus text-format dumps over any
+//!   set of registries.
+//! * [`SamplerHandle`] — a background thread appending periodic snapshots
+//!   to a JSONL file: the footprint / steal-rate / fill-flush time series
+//!   a soak run produces as its proof artifact.
+//! * [`json`] — a minimal JSON parser so exporter round-trips can be
+//!   asserted without external dependencies.
+//!
+//! ## Synchronization contract
+//!
+//! No metric write path performs a compare-and-swap: counters and
+//! histograms use relaxed `fetch_add` on a per-thread shard, gauges use
+//! plain stores, and the journal claims slots with one relaxed
+//! `fetch_add`. The only locks live in registration (once per metric) and
+//! the sampler's file writer (off every allocator path). [`cas_ops`]
+//! audits that claim: any future code that adds a CAS to this crate must
+//! route it through [`note_cas`], and the fast-path test pins the count
+//! at zero.
+
+mod journal;
+mod metrics;
+mod registry;
+mod sampler;
+
+pub mod export;
+pub mod json;
+
+pub use journal::{Event, EventKind, Journal};
+pub use metrics::{Counter, Gauge, HistSnapshot, Histogram};
+pub use registry::{Metric, Registry};
+pub use sampler::SamplerHandle;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Global audit counter of compare-and-swap operations performed *by this
+/// crate*. The metric fast paths are CAS-free by design; every CAS a
+/// future change introduces must call [`note_cas`], and the unit tests
+/// assert the count stays at zero across counter/histogram/journal
+/// storms.
+static CAS_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one compare-and-swap performed inside the telemetry crate.
+/// Currently never called — kept as the mandatory audit hook for any
+/// future CAS (see [`cas_ops`]).
+#[allow(dead_code)]
+pub(crate) fn note_cas() {
+    CAS_OPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total compare-and-swap operations the telemetry crate has performed
+/// since process start (see [`note_cas`]).
+pub fn cas_ops() -> u64 {
+    CAS_OPS.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds since the process's telemetry clock origin (the
+/// first call to this function). All journal timestamps and sampler
+/// `t_ms` fields share this origin, so traces from different subsystems
+/// of one process order correctly against each other.
+pub fn now_ns() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// [`now_ns`] in milliseconds (sampler time-series resolution).
+pub fn now_ms() -> u64 {
+    now_ns() / 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+        assert!(now_ms() <= now_ns() / 1_000_000 + 1);
+    }
+
+    #[cfg(not(feature = "telemetry-off"))]
+    #[test]
+    fn metric_and_journal_writes_perform_zero_cas() {
+        // The headline synchronization contract: a storm of concurrent
+        // counter increments, histogram observations, and journal records
+        // must not execute a single compare-and-swap inside this crate.
+        let cas0 = cas_ops();
+        let reg = Registry::new();
+        let c = reg.counter("storm_counter");
+        let h = reg.histogram("storm_hist");
+        let j = Journal::with_capacity(256);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let (c, h, j) = (c.clone(), h.clone(), &j);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        c.add(1);
+                        h.observe(i + t);
+                        j.record(EventKind::Fill, i, t);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+        assert_eq!(h.snapshot().count, 40_000);
+        assert_eq!(cas_ops() - cas0, 0, "telemetry write paths must be CAS-free");
+    }
+}

@@ -1,15 +1,21 @@
 //! Footprint probe for the churn-fixpoint workload (Theorem 5.2).
 //!
-//! Replays `ralloc_leakage_freedom_under_churn`'s stress rounds while
-//! printing per-round footprint and slow-path counters, so regressions in
-//! the demand-spike levers (parked-bin warm starts, best-fit fills) show
-//! up as numbers instead of a flaky red test. Used to record the probe
-//! matrix in ROADMAP; run several times — the interesting signal is the
-//! step *distribution* across runs.
+//! Replays `ralloc_leakage_freedom_under_churn`'s stress rounds while the
+//! telemetry sampler records the footprint trajectory — committed length,
+//! used superblocks, fill/flush/steal counters — as JSONL, so regressions
+//! in the demand-spike levers (parked-bin warm starts, best-fit fills)
+//! show up as numbers instead of a flaky red test. Used to record the
+//! probe matrix in ROADMAP; run several times — the interesting signal is
+//! the step *distribution* across runs.
 //!
-//! Usage: `cargo run --release -p suite --example churn_probe [rounds]`
+//! Usage: `cargo run --release -p suite --example churn_probe [rounds] [out.jsonl]`
+//!
+//! The console shows one line per round (footprint and its step); the
+//! full counter trajectory lands in the JSONL file (default
+//! `churn_probe.jsonl`), one snapshot per sampler tick — the same schema
+//! the `RALLOC_TELEMETRY` env knob produces.
 
-use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 use ralloc::{Ralloc, RallocConfig};
 // The exact stress generator of `ralloc_leakage_freedom_under_churn`
@@ -21,38 +27,33 @@ use workloads::DynAlloc;
 fn main() {
     let rounds: usize =
         std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(7);
+    let out = std::env::args().nth(2).unwrap_or_else(|| "churn_probe.jsonl".into());
     let heap =
         Ralloc::create(64 << 20, RallocConfig { flush_half: true, ..Default::default() });
     let alloc: DynAlloc = std::sync::Arc::new(heap.clone());
-    let s = heap.slow_stats();
+    heap.start_sampler(&out, Duration::from_millis(25)).expect("start sampler");
     let mut prev = heap.used_superblocks();
-    let counters: &[(&str, &std::sync::atomic::AtomicU64)] = &[
-        ("carved", &s.sb_carved),
-        ("scav", &s.sb_scavenged),
-        ("recheck", &s.free_recheck_hits),
-        ("adopts", &s.bin_adopts),
-        ("parks", &s.bin_parks),
-        ("bestfit", &s.fill_bestfit_probes),
-        ("home", &s.partial_pops_home),
-        ("steals", &s.partial_steals),
-        ("fills", &s.cache_fills),
-    ];
-    let mut last: Vec<u64> = counters.iter().map(|_| 0).collect();
-    print!("{:>5} {:>6} {:>6}", "round", "used", "step");
-    for (name, _) in counters {
-        print!(" {name:>8}");
-    }
-    println!();
+    println!("{:>5} {:>6} {:>6}   (trajectory -> {out})", "round", "used", "step");
     for r in 0..rounds {
         stress(&alloc, 4, 10_000);
         let used = heap.used_superblocks();
-        print!("{:>5} {:>6} {:>+6}", r, used, used as i64 - prev as i64);
-        for (i, (_, c)) in counters.iter().enumerate() {
-            let v = c.load(Ordering::Relaxed);
-            print!(" {:>8}", v - last[i]);
-            last[i] = v;
-        }
-        println!();
+        println!("{:>5} {:>6} {:>+6}", r, used, used as i64 - prev as i64);
         prev = used;
     }
+    heap.stop_sampler();
+    // Round-trip the trajectory so a broken sampler fails loudly here
+    // instead of silently producing an empty artifact.
+    let body = std::fs::read_to_string(&out).expect("read trajectory");
+    let lines = body.lines().count();
+    let mut parsed = None;
+    for l in body.lines() {
+        parsed = Some(telemetry::json::parse(l).expect("sampler line parses as JSON"));
+    }
+    let parsed = parsed.expect("at least one sample");
+    println!(
+        "{lines} samples; final committed_len={} fills={} steals={}",
+        parsed.get("committed_len").and_then(|v| v.as_u64()).unwrap_or(0),
+        parsed.get("fills").and_then(|v| v.as_u64()).unwrap_or(0),
+        parsed.get("steals").and_then(|v| v.as_u64()).unwrap_or(0),
+    );
 }

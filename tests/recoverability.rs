@@ -261,6 +261,65 @@ fn close_after_recovery_enables_clean_restart() {
     assert_eq!(stack.len(), 30);
 }
 
+#[test]
+fn recovery_invalidates_stale_thread_caches() {
+    // Recovery rebuilds the free lists from the trace, so every block not
+    // reachable from a root — including blocks sitting in thread caches —
+    // is declared free. A cache that survived `recover()` would therefore
+    // alias the rebuilt lists: its pops and the lists' fills would hand
+    // out the same block twice. Regression test for exactly that (the
+    // malloc+free below leaves a whole fill batch cached on this thread).
+    let heap = Ralloc::create(8 << 20, RallocConfig::default());
+    let p = heap.malloc(128);
+    assert!(!p.is_null());
+    heap.free(p);
+    heap.recover();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..1024 {
+        let q = heap.malloc(128);
+        assert!(!q.is_null());
+        assert!(seen.insert(q as usize), "block handed out twice after recovery");
+    }
+    let report = ralloc::check_heap(&heap);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+}
+
+#[test]
+fn recovery_waits_out_thread_exit_cache_drains() {
+    // A scoped worker's TLS cache destructor runs during OS thread
+    // teardown — *after* `thread::scope` returns — so its bin flush can
+    // land while the joining thread is already inside recovery. The
+    // recovery-entry rendezvous (generation bump + exit-drain wait) must
+    // make that flush either complete first or never start. Exercise the
+    // window repeatedly: populate-and-free from a worker, then recover
+    // immediately after the scope join.
+    let heap = Ralloc::create(64 << 20, RallocConfig::default());
+    for round in 0..6 {
+        std::thread::scope(|s| {
+            let heap = &heap;
+            s.spawn(move || {
+                let mut held = Vec::new();
+                for i in 0..4000u64 {
+                    let p = heap.malloc(4096);
+                    assert!(!p.is_null());
+                    if i % 3 == 0 {
+                        heap.free(p);
+                    } else {
+                        held.push(p);
+                    }
+                }
+                for p in held {
+                    heap.free(p);
+                }
+            });
+        });
+        let stats = heap.recover();
+        assert_eq!(stats.reachable_blocks, 0, "round {round}: nothing is rooted");
+        let report = ralloc::check_heap(&heap);
+        assert!(report.is_consistent(), "round {round}: {:?}", report.violations);
+    }
+}
+
 mod random_crash_proptests {
     use super::*;
     use proptest::prelude::*;

@@ -1,0 +1,40 @@
+//! `RALLOC_TELEMETRY` auto-starts the trajectory sampler at heap
+//! construction — the env-knob path soak scripts use without touching
+//! the API.
+//!
+//! Like `growable_env.rs`, this is deliberately a single test in its own
+//! binary: env vars are process-global, and mutating them while another
+//! thread reads them (every heap creation does) is UB on glibc. One test
+//! = one thread = no concurrent getenv. Do not add further `#[test]`s to
+//! this file. (Being the process's first heap also pins the heap id to
+//! 1, so the sampler writes to the un-suffixed path.)
+
+use std::time::Duration;
+
+use ralloc::{Ralloc, RallocConfig};
+use telemetry::json;
+
+#[test]
+fn env_knob_auto_starts_sampler() {
+    let out = std::env::temp_dir()
+        .join(format!("ralloc_env_knob_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    std::env::set_var("RALLOC_TELEMETRY", &out);
+    std::env::set_var("RALLOC_TELEMETRY_MS", "5");
+    let heap = Ralloc::create(16 << 20, RallocConfig::default());
+    std::env::remove_var("RALLOC_TELEMETRY");
+    std::env::remove_var("RALLOC_TELEMETRY_MS");
+    let p = heap.malloc(256);
+    heap.free(p);
+    std::thread::sleep(Duration::from_millis(30));
+    heap.close().expect("close");
+    let body = std::fs::read_to_string(&out).expect("env knob produced a trajectory");
+    assert!(!body.is_empty(), "sampler wrote at least the immediate first sample");
+    for line in body.lines() {
+        let v = json::parse(line).expect("JSONL line parses");
+        assert_eq!(v.get("heap_id").and_then(|x| x.as_u64()), Some(1));
+        assert!(v.get("committed_len").and_then(|x| x.as_u64()).unwrap() > 0);
+    }
+    let _ = std::fs::remove_file(&out);
+}
