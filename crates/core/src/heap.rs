@@ -24,7 +24,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use nvm::{CrashInjector, FlushModel, Mode, PmemPool};
+use nvm::{CrashInjector, FlushModel, Mode, PmemPool, PoolGuard};
 use telemetry::{Counter, EventKind, Journal, Registry, SamplerHandle};
 
 use crate::anchor::{Anchor, SbState};
@@ -1466,7 +1466,9 @@ impl Ralloc {
         Self::create_inner(capacity, cfg, None)
     }
 
-    fn create_inner(capacity: usize, cfg: RallocConfig, file: Option<PathBuf>) -> Ralloc {
+    /// Resolve a `create` capacity request (plus config and env
+    /// overrides) into `(reserved span, initial committed length)`.
+    fn capacity_plan(capacity: usize, cfg: &RallocConfig) -> (usize, usize) {
         let max_cap = shard::env_size("RALLOC_MAX_CAP")
             .or(cfg.max_capacity)
             .unwrap_or(capacity)
@@ -1478,9 +1480,14 @@ impl Ralloc {
         let reserved = Geometry::pool_len_for_capacity(max_cap);
         let geo = Geometry::from_pool_len(reserved);
         let init_sb = init_cap.div_ceil(SB_SIZE).clamp(1, geo.max_sb);
+        (reserved, geo.committed_len_for_sb(init_sb))
+    }
+
+    fn create_inner(capacity: usize, cfg: RallocConfig, file: Option<PathBuf>) -> Ralloc {
+        let (reserved, committed) = Self::capacity_plan(capacity, &cfg);
         let pool = PmemPool::with_reserve(
             reserved,
-            geo.committed_len_for_sb(init_sb),
+            committed,
             cfg.mode,
             cfg.flush_model,
             cfg.injector.clone(),
@@ -1500,7 +1507,16 @@ impl Ralloc {
         capacity: usize,
         cfg: RallocConfig,
     ) -> io::Result<(Ralloc, bool)> {
-        if path.exists() {
+        // Exclusive advisory lock first: two live processes on one pool
+        // file silently race each other's saves (and, mapped, each
+        // other's stores). The guard is held for the heap's lifetime and
+        // auto-released by the kernel if this process dies. A second
+        // opener gets a distinct "pool busy" (`WouldBlock`) error.
+        // Acquiring creates the file, so emptiness — not existence —
+        // distinguishes a fresh pool from one to adopt.
+        let guard = PoolGuard::acquire(path)?;
+        let file_len = guard.file().metadata()?.len() as usize;
+        if file_len > 0 {
             let reserved = Self::peek_reserved_len(path).unwrap_or(0);
             if reserved > 0 {
                 // A Ralloc header whose recorded reserved span is shorter
@@ -1510,7 +1526,6 @@ impl Ralloc {
                 // the reservation up to the file length and left a
                 // confusing "pool length mismatch" panic to fire later —
                 // mirroring the truncated-image refusal in `adopt`.
-                let file_len = std::fs::metadata(path)?.len() as usize;
                 assert!(
                     file_len <= reserved,
                     "heap file {} is {file_len} bytes but its header records a \
@@ -1525,9 +1540,63 @@ impl Ralloc {
                 cfg.flush_model,
                 cfg.injector.clone(),
             )?;
+            pool.hold_guard(guard);
             Ok(Self::adopt(pool, &cfg, Some(path.to_path_buf())))
         } else {
-            Ok((Self::create_inner(capacity, cfg, Some(path.to_path_buf())), false))
+            let heap = Self::create_inner(capacity, cfg, Some(path.to_path_buf()));
+            heap.inner.pool.hold_guard(guard);
+            Ok((heap, false))
+        }
+    }
+
+    /// Open (or create) a heap as a live `MAP_SHARED` mapping of `path` —
+    /// the real-file analogue of [`Ralloc::open_file`], and the substrate
+    /// the fork/SIGKILL crash harness (`crates/crashtest`) runs on. Every
+    /// store lands in the OS page cache, so the heap survives the death
+    /// of the process *at any instruction* with exactly the stores that
+    /// had executed — no save step, no cooperation. The same flock guard
+    /// applies ("pool busy" for a second live process), and the file
+    /// stays openable by the plain [`Ralloc::open_file`] path afterwards
+    /// (file length == committed frontier throughout).
+    ///
+    /// Mapped heaps are [`Mode::Direct`] only; `cfg.mode` is ignored.
+    /// Requires the raw mmap layer (x86_64 Linux); other hosts get
+    /// [`io::ErrorKind::Unsupported`].
+    pub fn open_file_mapped(
+        path: &Path,
+        capacity: usize,
+        cfg: RallocConfig,
+    ) -> io::Result<(Ralloc, bool)> {
+        let guard = PoolGuard::acquire(path)?;
+        let file_len = guard.file().metadata()?.len() as usize;
+        if file_len > 0 {
+            let reserved = Self::peek_reserved_len(path).unwrap_or(0);
+            if reserved > 0 {
+                assert!(
+                    file_len <= reserved,
+                    "heap file {} is {file_len} bytes but its header records a \
+                     reserved span of only {reserved}: refusing a corrupt heap image",
+                    path.display()
+                );
+            }
+            let pool = PmemPool::map_file(
+                guard,
+                reserved.max(file_len),
+                file_len,
+                cfg.flush_model,
+                cfg.injector.clone(),
+            )?;
+            Ok(Self::adopt(pool, &cfg, Some(path.to_path_buf())))
+        } else {
+            let (reserved, committed) = Self::capacity_plan(capacity, &cfg);
+            let pool = PmemPool::map_file(
+                guard,
+                reserved,
+                committed,
+                cfg.flush_model,
+                cfg.injector.clone(),
+            )?;
+            Ok((Self::fresh(pool, &cfg, Some(path.to_path_buf())), false))
         }
     }
 

@@ -1,0 +1,252 @@
+//! CLI driver for the fork/SIGKILL crash harness.
+//!
+//! ```text
+//! crashtest sweep --structure queue|stack|kv|nmtree|rbtree|churn|all \
+//!                 --rounds N [--seed S] [--dir PATH] [--threads T] [--ops N]
+//! crashtest run   --structure S --pool PATH [--seed S] [--threads T] [--ops N] \
+//!                 (--events N | --time-us N | --no-kill)
+//! crashtest hold  --pool PATH --millis N
+//! ```
+//!
+//! `sweep` is the workhorse: for each round it derives a kill point from
+//! the seed (even rounds by persistence-event count, odd by wall-clock),
+//! forks a victim, kills it, recovers, and runs the oracles. Any failure
+//! prints the seed (`RALLOC_CRASH_SEED=<seed>` re-runs it exactly) plus
+//! the recovered heap's telemetry journal, and exits non-zero.
+//!
+//! `hold` opens a pool with the advisory lock and sits on it — the
+//! second process of the two-process `flock` regression test.
+//!
+//! This process stays single-threaded (fork safety); only victims spawn
+//! threads.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use crashtest::{
+    cleanup, run_once, seed_from_env, KillSpec, RunConfig, Structure, XorShift, SEED_ENV,
+};
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
+}
+
+/// Minimal `--flag value` parser over the remaining args.
+struct Args(Vec<String>);
+
+impl Args {
+    fn opt(&mut self, flag: &str) -> Option<String> {
+        let i = self.0.iter().position(|a| a == flag)?;
+        if i + 1 >= self.0.len() {
+            die(&format!("{flag} needs a value"));
+        }
+        self.0.remove(i);
+        Some(self.0.remove(i))
+    }
+
+    fn flag(&mut self, flag: &str) -> bool {
+        match self.0.iter().position(|a| a == flag) {
+            Some(i) => {
+                self.0.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn finish(&self) {
+        if let Some(extra) = self.0.first() {
+            die(&format!("unrecognized argument: {extra}"));
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("crashtest: {msg}");
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        die("missing subcommand (sweep | run | hold)");
+    }
+    let cmd = argv.remove(0);
+    let mut args = Args(argv);
+    match cmd.as_str() {
+        "sweep" => sweep(&mut args),
+        "run" => run(&mut args),
+        "hold" => hold(&mut args),
+        other => die(&format!("unknown subcommand {other}")),
+    }
+}
+
+fn structures_arg(args: &mut Args) -> Vec<Structure> {
+    match args.opt("--structure").as_deref() {
+        None | Some("all") => Structure::ALL.to_vec(),
+        Some(name) => match Structure::parse(name) {
+            Some(s) => vec![s],
+            None => die(&format!("unknown structure {name}")),
+        },
+    }
+}
+
+fn sweep(args: &mut Args) -> ExitCode {
+    let structures = structures_arg(args);
+    let rounds: usize = args
+        .opt("--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let seed = args
+        .opt("--seed")
+        .map(|v| parse_u64(&v).unwrap_or_else(|| die("bad --seed")))
+        .unwrap_or_else(seed_from_env);
+    let dir = args
+        .opt("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let threads = args.opt("--threads").and_then(|v| v.parse().ok());
+    let ops = args.opt("--ops").and_then(|v| v.parse().ok());
+    args.finish();
+    let _ = std::fs::create_dir_all(&dir);
+
+    let mut rng = XorShift::new(seed);
+    let mut total_kills = 0usize;
+    for s in structures {
+        for round in 0..rounds {
+            let pool = dir.join(format!("crash_{}_{round}.pool", s.name()));
+            let mut cfg = RunConfig::new(s, pool, rng.next_u64() | 1);
+            if let Some(t) = threads {
+                cfg.threads = t;
+            }
+            if let Some(n) = ops {
+                cfg.ops_per_thread = n;
+            }
+            // Alternate deterministic event-count kills with asynchronous
+            // wall-clock kills so both flavors get coverage every sweep.
+            cfg.kill = if round % 2 == 0 {
+                KillSpec::Events(rng.range(1, 30_000))
+            } else {
+                KillSpec::TimeMicros(rng.range(300, 40_000))
+            };
+            match run_once(&cfg) {
+                Ok(r) => {
+                    if r.killed {
+                        total_kills += 1;
+                    }
+                    println!(
+                        "round structure={} i={round} kill={} killed={} setup_died={} \
+                         records={} acked={} inflight={} ok",
+                        s.name(),
+                        cfg.kill,
+                        r.killed,
+                        r.died_in_setup,
+                        r.records,
+                        r.acked,
+                        r.inflight
+                    );
+                    cleanup(&cfg);
+                }
+                Err(e) => {
+                    println!(
+                        "FAILURE structure={} round={round} {SEED_ENV}={seed:#x} kill={}",
+                        s.name(),
+                        cfg.kill
+                    );
+                    println!("{e}");
+                    println!("pool file kept for inspection: {}", cfg.pool.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!("SWEEP ok seed={seed:#x} kills={total_kills}");
+    ExitCode::SUCCESS
+}
+
+fn run(args: &mut Args) -> ExitCode {
+    let structure = match structures_arg(args).as_slice() {
+        [s] => *s,
+        _ => die("run needs exactly one --structure"),
+    };
+    let pool = args
+        .opt("--pool")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("crashtest_run.pool"));
+    let seed = args
+        .opt("--seed")
+        .map(|v| parse_u64(&v).unwrap_or_else(|| die("bad --seed")))
+        .unwrap_or_else(seed_from_env);
+    let mut cfg = RunConfig::new(structure, pool, seed);
+    if let Some(t) = args.opt("--threads").and_then(|v| v.parse().ok()) {
+        cfg.threads = t;
+    }
+    if let Some(n) = args.opt("--ops").and_then(|v| v.parse().ok()) {
+        cfg.ops_per_thread = n;
+    }
+    cfg.kill = if let Some(n) = args.opt("--events") {
+        KillSpec::Events(parse_u64(&n).unwrap_or_else(|| die("bad --events")))
+    } else if let Some(us) = args.opt("--time-us") {
+        KillSpec::TimeMicros(parse_u64(&us).unwrap_or_else(|| die("bad --time-us")))
+    } else if args.flag("--no-kill") {
+        KillSpec::None
+    } else {
+        die("run needs --events N, --time-us N, or --no-kill")
+    };
+    args.finish();
+
+    match run_once(&cfg) {
+        Ok(r) => {
+            println!(
+                "RESULT structure={} seed={seed:#x} kill={} killed={} setup_died={} \
+                 records={} acked={} inflight={}",
+                structure.name(),
+                cfg.kill,
+                r.killed,
+                r.died_in_setup,
+                r.records,
+                r.acked,
+                r.inflight
+            );
+            cleanup(&cfg);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("FAILURE structure={} {SEED_ENV}={seed:#x}", structure.name());
+            println!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn hold(args: &mut Args) -> ExitCode {
+    let pool = args
+        .opt("--pool")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| die("hold needs --pool"));
+    let millis: u64 = args
+        .opt("--millis")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    args.finish();
+    let heap = match ralloc::Ralloc::open_file(&pool, 32 << 20, ralloc::RallocConfig::default())
+    {
+        Ok((h, _dirty)) => h,
+        Err(e) => {
+            eprintln!("hold: open failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Tell the orchestrating test the lock is held (line-buffered pipe).
+    println!("HOLDING");
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    std::thread::sleep(std::time::Duration::from_millis(millis));
+    drop(heap);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,262 @@
+//! # crashtest — fork/SIGKILL crash-injection harness
+//!
+//! The cooperative crash tests (`tests/recoverability.rs`) simulate
+//! power failure *inside* one process: an armed [`nvm::CrashInjector`]
+//! panics at a persistence event, the harness catches the unwind and
+//! discards unflushed lines. That model is precise but polite — panics
+//! unwind, destructors run, and only `Mode::Tracked` pools participate.
+//!
+//! This crate kills for real. The victim is a **forked child** running a
+//! multi-threaded workload over a live file-backed pool
+//! ([`ralloc::Ralloc::open_file_mapped`], `MAP_SHARED`); the parent
+//! SIGKILLs it at a randomized moment — either wall-clock
+//! ([`KillSpec::TimeMicros`]) or an exact persistence-event count
+//! ([`KillSpec::Events`], replayable) — then reopens the pool, runs
+//! recovery, and checks **visibility oracles** against a per-thread
+//! op-log persisted in the same heap (see [`oplog`] and [`oracle`]):
+//! acked operations are exactly-once visible, in-flight operations
+//! at-most-once.
+//!
+//! Everything random derives from one seed (`RALLOC_CRASH_SEED`); a
+//! failing round prints it, and re-running with it reproduces the same
+//! kill point.
+//!
+//! Fork safety: [`run_once`] must be called from a **single-threaded**
+//! process (the `crashtest` binary); the child may spawn threads freely.
+
+pub mod oplog;
+pub mod oracle;
+pub mod rng;
+pub mod workload;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use nvm::sys;
+use ralloc::{Ralloc, RallocConfig};
+
+pub use rng::XorShift;
+pub use workload::{Structure, OPLOG_ROOT, STRUCT_ROOT};
+
+/// Reserved virtual span for victim pools. Mostly uncommitted; the
+/// committed frontier starts at [`INIT_COMMIT`] and grows under load.
+pub const POOL_CAP: usize = 256 << 20;
+/// Initial committed capacity: small, so workloads cross the grow path.
+pub const INIT_COMMIT: usize = 8 << 20;
+
+/// Environment variable carrying the sweep seed.
+pub const SEED_ENV: &str = "RALLOC_CRASH_SEED";
+
+/// When the parent kills the child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillSpec {
+    /// Child SIGKILLs itself at exactly the `n`-th persistence event
+    /// after the workload starts (deterministic, replayable).
+    Events(u64),
+    /// Parent SIGKILLs the child after a wall-clock delay (asynchronous:
+    /// lands at an arbitrary instruction).
+    TimeMicros(u64),
+    /// Never kill: the child runs to completion (clean-run control).
+    None,
+}
+
+impl fmt::Display for KillSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KillSpec::Events(n) => write!(f, "events:{n}"),
+            KillSpec::TimeMicros(us) => write!(f, "time-us:{us}"),
+            KillSpec::None => write!(f, "none"),
+        }
+    }
+}
+
+/// One crash round's configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    pub structure: Structure,
+    pub pool: PathBuf,
+    pub seed: u64,
+    pub threads: usize,
+    pub ops_per_thread: usize,
+    pub kill: KillSpec,
+}
+
+impl RunConfig {
+    /// Defaults for a sweep round (pool path and kill filled in by the
+    /// sweep loop).
+    pub fn new(structure: Structure, pool: PathBuf, seed: u64) -> RunConfig {
+        RunConfig {
+            structure,
+            pool,
+            seed,
+            threads: 4,
+            ops_per_thread: 1500,
+            kill: KillSpec::None,
+        }
+    }
+}
+
+/// What one round did and found.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The child died by SIGKILL (false: ran to completion).
+    pub killed: bool,
+    /// The kill landed before setup finished; nothing could have acked,
+    /// so the oracles pass vacuously.
+    pub died_in_setup: bool,
+    /// Op-log records begun / acked / in-flight across all threads.
+    pub records: usize,
+    pub acked: usize,
+    pub inflight: usize,
+}
+
+fn ready_path(pool: &Path) -> PathBuf {
+    let mut p = pool.as_os_str().to_owned();
+    p.push(".ready");
+    PathBuf::from(p)
+}
+
+fn victim_config(injector: Option<std::sync::Arc<nvm::CrashInjector>>) -> RallocConfig {
+    RallocConfig {
+        injector,
+        initial_capacity: Some(INIT_COMMIT),
+        ..Default::default()
+    }
+}
+
+/// Child-side body: open the pool live-mapped, build the structure and
+/// op-log, then run the workload until the kill lands (or it finishes).
+/// Never returns; exits via `exit_group` so no buffers flush twice.
+pub fn child_exec(cfg: &RunConfig) -> ! {
+    let inj = nvm::CrashInjector::new();
+    let (heap, _dirty) =
+        match Ralloc::open_file_mapped(&cfg.pool, POOL_CAP, victim_config(Some(inj.clone()))) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("crashtest child: open_file_mapped failed: {e}");
+                sys::exit_group(2)
+            }
+        };
+    let dir = workload::setup(&heap, cfg.structure, cfg.threads);
+    // Ops can only ack past this marker; the parent treats a missing
+    // marker as "died during setup" (vacuous pass — init is not a
+    // recoverable phase, a real deployment re-creates on failed init).
+    if let Err(e) = std::fs::write(ready_path(&cfg.pool), b"ready") {
+        eprintln!("crashtest child: marker write failed: {e}");
+        sys::exit_group(2)
+    }
+    if let KillSpec::Events(n) = cfg.kill {
+        inj.arm_kill(n);
+    }
+    workload::run(&heap, cfg.structure, dir, cfg.threads, cfg.seed, cfg.ops_per_thread);
+    inj.disarm();
+    sys::exit_group(0)
+}
+
+/// Fork a victim, kill it per `cfg.kill`, then recover and run the
+/// oracles. Must be called from a single-threaded process.
+pub fn run_once(cfg: &RunConfig) -> Result<RunReport, String> {
+    if !sys::available() {
+        return Err("kill-based crash testing requires the raw syscall layer \
+                    (x86_64 Linux)"
+            .into());
+    }
+    let _ = std::fs::remove_file(&cfg.pool);
+    let _ = std::fs::remove_file(ready_path(&cfg.pool));
+    // SAFETY: the crashtest binary is single-threaded at this point (its
+    // documented contract); the child only proceeds into `child_exec`.
+    let pid = unsafe { sys::fork() }.map_err(|e| format!("fork failed: {e}"))?;
+    if pid == 0 {
+        child_exec(cfg); // never returns
+    }
+    if let KillSpec::TimeMicros(us) = cfg.kill {
+        std::thread::sleep(Duration::from_micros(us));
+        let _ = sys::kill(pid, sys::SIGKILL);
+    }
+    let (_, status) = sys::wait4(pid, 0).map_err(|e| format!("wait failed: {e}"))?;
+    let killed = sys::term_signal(status) == Some(sys::SIGKILL);
+    if !killed {
+        match sys::exit_code(status) {
+            Some(0) => {}
+            other => {
+                return Err(format!(
+                    "child neither SIGKILLed nor exited cleanly: status {status:#x} \
+                     (exit code {other:?})"
+                ))
+            }
+        }
+    }
+    verify(cfg, killed)
+}
+
+/// Reopen the pool, recover, and run every oracle. Separated from
+/// [`run_once`] so a recorded pool file can be re-checked on its own.
+pub fn verify(cfg: &RunConfig, killed: bool) -> Result<RunReport, String> {
+    if !ready_path(&cfg.pool).exists() {
+        return Ok(RunReport {
+            killed,
+            died_in_setup: true,
+            records: 0,
+            acked: 0,
+            inflight: 0,
+        });
+    }
+    let (heap, dirty) = Ralloc::open_file_mapped(&cfg.pool, POOL_CAP, victim_config(None))
+        .map_err(|e| format!("reopen failed: {e}"))?;
+    workload::register_filters(&heap, cfg.structure);
+    if dirty {
+        heap.recover();
+    }
+    let fail = |msg: String| -> String {
+        format!(
+            "{msg}\nstructure={} seed={:#x} kill={}\n--- telemetry journal ---\n{}",
+            cfg.structure.name(),
+            cfg.seed,
+            cfg.kill,
+            heap.journal().to_json()
+        )
+    };
+    let chk = ralloc::checker::check_heap(&heap);
+    if !chk.is_consistent() {
+        return Err(fail(format!(
+            "heap checker found {} violation(s): {:?}",
+            chk.violations.len(),
+            chk.violations
+        )));
+    }
+    let dir = oplog::attach(&heap, OPLOG_ROOT)
+        .ok_or_else(|| fail("op-log root missing despite setup marker".into()))?;
+    let logs = oplog::read_logs(&heap, dir).map_err(&fail)?;
+    workload::verify_structure(&heap, cfg.structure, &logs).map_err(&fail)?;
+    let (records, acked, inflight) = workload::oplog_totals(&logs);
+    Ok(RunReport { killed, died_in_setup: false, records, acked, inflight })
+}
+
+/// Remove a round's pool and marker files (sweep hygiene).
+pub fn cleanup(cfg: &RunConfig) {
+    let _ = std::fs::remove_file(&cfg.pool);
+    let _ = std::fs::remove_file(ready_path(&cfg.pool));
+}
+
+/// Read the sweep seed: `RALLOC_CRASH_SEED` if set (decimal or
+/// `0x`-hex), else derived from the process id and time.
+pub fn seed_from_env() -> u64 {
+    if let Ok(s) = std::env::var(SEED_ENV) {
+        let t = s.trim();
+        let parsed = if let Some(hex) = t.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            t.parse().ok()
+        };
+        if let Some(v) = parsed {
+            return v;
+        }
+        eprintln!("crashtest: ignoring unparsable {SEED_ENV}={s}");
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    now ^ ((sys::getpid() as u64) << 32) | 1
+}

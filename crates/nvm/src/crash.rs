@@ -14,7 +14,7 @@
 //! sweep the budget from 1 to the total number of events observed in a
 //! crash-free run, plus random budgets under concurrency.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Panic payload used to signal an injected crash. Harnesses match on this
@@ -39,18 +39,40 @@ impl CrashPoint {
     }
 }
 
+/// What firing the injector does to the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashAction {
+    /// Panic with [`CrashPoint`] — the cooperative style: the harness
+    /// catches the unwind in-process and simulates the power failure
+    /// itself (`PmemPool::crash`).
+    Panic,
+    /// `SIGKILL` the whole process — the kill-based style: no unwinding,
+    /// no destructors, no chance to "finish" anything. Only meaningful
+    /// when the surviving state lives outside the process (a file-backed
+    /// pool) and a parent process performs the recovery check.
+    Kill,
+}
+
 /// Counts persistence events and injects a crash when armed.
 ///
 /// Disarmed by default; [`CrashInjector::arm`] gives a budget of events
 /// after which the *next* event panics. The injector is shared (`Arc`) so a
 /// pool and many threads can observe the same budget; the panic fires in
 /// whichever thread exhausts it, and only once per arming.
+///
+/// [`CrashInjector::arm_kill`] swaps the panic for a real `SIGKILL` of the
+/// process — the deterministic flavour of the fork-based crash harness
+/// (`crates/crashtest`): persistence event N is an exact, replayable
+/// program point, and the kill at it is a true fail-stop (nothing after
+/// the event executes, not even unwinding).
 #[derive(Debug, Default)]
 pub struct CrashInjector {
     /// Remaining events before crash; negative = disarmed.
     budget: AtomicI64,
     /// Total events observed since construction (never reset by arm).
     observed: AtomicU64,
+    /// 0 = panic (default), 1 = SIGKILL self.
+    action: AtomicU8,
 }
 
 impl CrashInjector {
@@ -59,12 +81,23 @@ impl CrashInjector {
         Arc::new(CrashInjector {
             budget: AtomicI64::new(-1),
             observed: AtomicU64::new(0),
+            action: AtomicU8::new(0),
         })
     }
 
     /// Arm the injector: after `n` further events, the next event panics
     /// with [`CrashPoint`]. `n == 0` means the very next event crashes.
     pub fn arm(&self, n: u64) {
+        self.action.store(0, Ordering::SeqCst);
+        self.budget.store(n as i64, Ordering::SeqCst);
+    }
+
+    /// Arm the injector to `SIGKILL` the whole process at the event
+    /// instead of panicking. See [`CrashAction::Kill`]; requires the raw
+    /// syscall layer ([`crate::sys::available`]) to actually die — on
+    /// unsupported hosts the event falls back to the panic action.
+    pub fn arm_kill(&self, n: u64) {
+        self.action.store(1, Ordering::SeqCst);
         self.budget.store(n as i64, Ordering::SeqCst);
     }
 
@@ -93,6 +126,14 @@ impl CrashInjector {
             // Our decrement consumed the final budget: crash here. Leave
             // the counter negative so concurrent threads do not also fire.
             self.budget.store(i64::MIN / 2, Ordering::SeqCst);
+            if self.action.load(Ordering::SeqCst) == 1 {
+                // Fail-stop for real: SIGKILL cannot be caught, so nothing
+                // past this persistence event runs in any thread. If the
+                // kill somehow fails (unsupported host), fall through to
+                // the panic so the event never passes silently.
+                let _ = crate::sys::kill(crate::sys::getpid(), crate::sys::SIGKILL);
+                std::thread::sleep(std::time::Duration::from_secs(10));
+            }
             std::panic::panic_any(CrashPoint);
         }
         if prev < 0 {

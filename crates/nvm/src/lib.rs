@@ -41,10 +41,11 @@ mod crash;
 mod flush;
 mod pool;
 mod stats;
+pub mod sys;
 
-pub use crash::{CrashInjector, CrashPoint, CRASH_POINT_MSG};
+pub use crash::{CrashAction, CrashInjector, CrashPoint, CRASH_POINT_MSG};
 pub use flush::FlushModel;
-pub use pool::{CrashStyle, Mode, PmemPool};
+pub use pool::{CrashStyle, Mode, PmemPool, PoolGuard};
 pub use stats::PmemStats;
 
 /// Cache line size assumed throughout: flush granularity, descriptor

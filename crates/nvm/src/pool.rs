@@ -4,7 +4,7 @@ use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::collections::HashMap;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -13,7 +13,15 @@ use parking_lot::Mutex;
 use crate::crash::CrashInjector;
 use crate::flush::FlushModel;
 use crate::stats::PmemStats;
-use crate::{line_down, line_up, CACHE_LINE};
+use crate::{line_down, line_up, sys, CACHE_LINE};
+
+/// OS page size assumed for file mappings (x86_64 Linux).
+const PAGE: usize = 4096;
+
+#[inline]
+const fn page_up(n: usize) -> usize {
+    (n + PAGE - 1) & !(PAGE - 1)
+}
 
 /// How the pool simulates persistence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +61,90 @@ struct TrackState {
     pending: HashMap<usize, [u8; CACHE_LINE]>,
 }
 
+#[cfg(unix)]
+fn raw_fd(f: &fs::File) -> i32 {
+    use std::os::fd::AsRawFd;
+    f.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn raw_fd(_f: &fs::File) -> i32 {
+    -1
+}
+
+/// Advisory exclusive lock on a pool file (`flock(LOCK_EX)`), preventing
+/// two live processes from mapping (or load/saving) the same pool — a
+/// silent-corruption hazard the fork-based crash harness would otherwise
+/// trip constantly. The kernel releases the lock automatically when the
+/// holder dies (including by `SIGKILL`), which is exactly what lets the
+/// harness's parent reopen a pool right after killing the child.
+pub struct PoolGuard {
+    file: fs::File,
+    path: PathBuf,
+}
+
+impl PoolGuard {
+    /// Open (creating if absent) and exclusively lock `path`. A pool held
+    /// by another live process yields [`io::ErrorKind::WouldBlock`] with a
+    /// "pool busy" message.
+    pub fn acquire(path: &Path) -> io::Result<PoolGuard> {
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        sys::flock(raw_fd(&file), sys::LOCK_EX | sys::LOCK_NB).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock {
+                io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!("pool busy: {} is locked by another process", path.display()),
+                )
+            } else {
+                e
+            }
+        })?;
+        Ok(PoolGuard { file, path: path.to_path_buf() })
+    }
+
+    /// The locked file.
+    pub fn file(&self) -> &fs::File {
+        &self.file
+    }
+
+    /// The locked path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl std::fmt::Debug for PoolGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolGuard").field("path", &self.path).finish()
+    }
+}
+
+/// What holds the pool's bytes.
+enum Backing {
+    /// Anonymous zeroed allocation — the simulated-NVM configuration.
+    /// Durability across process death is *modelled* (shadow images,
+    /// explicit `save`), not real.
+    Heap(Layout),
+    /// A `MAP_SHARED` mapping of a real file over a `PROT_NONE`
+    /// reservation. Stores land in the OS page cache, which survives the
+    /// death of the process — the property the SIGKILL harness tests
+    /// against. The invariant maintained throughout: **file length ==
+    /// committed frontier** (`commit_to` extends the file before
+    /// publishing, `decommit_to` truncates after unmapping), so a reopen
+    /// can equate the two exactly as the load path always has.
+    File {
+        file: fs::File,
+        /// Serializes file-length + mapping changes against each other
+        /// (the frontier word itself stays lock-free for readers).
+        remap: Mutex<()>,
+    },
+}
+
 /// A region of simulated NVM.
 ///
 /// The region is a single allocation, 4 KiB aligned, zero-initialized
@@ -79,7 +171,10 @@ pub struct PmemPool {
     len: usize,
     /// Committed frontier in bytes (monotone, `<= len`).
     committed: AtomicUsize,
-    layout: Layout,
+    backing: Backing,
+    /// Advisory lock on the pool file, held for the pool's lifetime when
+    /// the pool was opened from a path (mapped or load/save style).
+    guard: Mutex<Option<PoolGuard>>,
     mode: Mode,
     flush_model: FlushModel,
     stats: PmemStats,
@@ -146,7 +241,8 @@ impl PmemPool {
             base,
             len,
             committed: AtomicUsize::new(committed),
-            layout,
+            backing: Backing::Heap(layout),
+            guard: Mutex::new(None),
             mode,
             flush_model,
             stats: PmemStats::default(),
@@ -154,6 +250,103 @@ impl PmemPool {
             tracked,
             crashes: AtomicU32::new(0),
         }
+    }
+
+    /// Map a pool over a real file: a `PROT_NONE` reservation of
+    /// `reserved` bytes with the file `MAP_SHARED`-mapped over the first
+    /// `committed` bytes (the file is sized to `committed`; a fresh file
+    /// grows to it, an adopted file must already be it). Stores become
+    /// durable-across-process-death immediately via page-cache coherence —
+    /// this is the configuration the fork/SIGKILL crash harness runs on,
+    /// and the closest thing to DAX this host can do.
+    ///
+    /// Mapped pools are [`Mode::Direct`] only: `Tracked`'s shadow image
+    /// models what a *power failure* keeps, but a mapped pool's survival
+    /// story is the page cache (process crash), and mixing the two would
+    /// claim strictness the mapping cannot deliver.
+    ///
+    /// The `guard`'s lock is held for the pool's lifetime; its file is the
+    /// one mapped.
+    pub fn map_file(
+        guard: PoolGuard,
+        reserved: usize,
+        committed: usize,
+        flush_model: FlushModel,
+        injector: Option<Arc<CrashInjector>>,
+    ) -> io::Result<Self> {
+        let len = line_up(reserved.max(CACHE_LINE));
+        let committed = line_up(committed.max(CACHE_LINE));
+        assert!(committed <= len, "committed {committed} exceeds reserved {len}");
+        // SAFETY: fresh anonymous PROT_NONE reservation; no aliasing.
+        let base = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_NONE,
+                sys::MAP_PRIVATE | sys::MAP_ANONYMOUS | sys::MAP_NORESERVE,
+                -1,
+                0,
+            )?
+        };
+        guard.file.set_len(committed as u64)?;
+        // SAFETY: MAP_FIXED over the prefix of the reservation we own.
+        let mapped = unsafe {
+            sys::mmap(
+                base,
+                page_up(committed),
+                sys::PROT_READ | sys::PROT_WRITE,
+                sys::MAP_SHARED | sys::MAP_FIXED,
+                raw_fd(&guard.file),
+                0,
+            )
+        };
+        let file = match mapped {
+            Ok(_) => guard.file.try_clone()?,
+            Err(e) => {
+                // SAFETY: tearing down the reservation we just created.
+                unsafe { sys::munmap(base, len).ok() };
+                return Err(e);
+            }
+        };
+        Ok(PmemPool {
+            base,
+            len,
+            committed: AtomicUsize::new(committed),
+            backing: Backing::File { file, remap: Mutex::new(()) },
+            guard: Mutex::new(Some(guard)),
+            mode: Mode::Direct,
+            flush_model,
+            stats: PmemStats::default(),
+            injector,
+            tracked: None,
+            crashes: AtomicU32::new(0),
+        })
+    }
+
+    /// True when the pool is a live `MAP_SHARED` file mapping (stores are
+    /// durable across process death without an explicit save).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::File { .. })
+    }
+
+    /// Hold an advisory lock for the pool's lifetime (the mapped
+    /// constructor does this implicitly; the load/save open path attaches
+    /// its guard here).
+    pub fn hold_guard(&self, guard: PoolGuard) {
+        *self.guard.lock() = Some(guard);
+    }
+
+    /// Write a mapped pool's dirty pages back to its file (`msync`). A
+    /// no-op for heap-backed pools (their durability is the explicit
+    /// [`PmemPool::save`]). Process-crash durability never needs this —
+    /// the page cache already has the stores — but a clean close syncs so
+    /// even an OS-level crash keeps the closed image.
+    pub fn sync(&self) -> io::Result<()> {
+        if self.is_mapped() {
+            // SAFETY: committed prefix of a live mapping.
+            unsafe { sys::msync(self.base, page_up(self.committed_len()), sys::MS_SYNC)? };
+        }
+        Ok(())
     }
 
     /// Base address of the mapping. Valid until the pool is dropped.
@@ -199,6 +392,36 @@ impl PmemPool {
             "commit_to({new_len}) exceeds reserved span {}",
             self.len
         );
+        if let Backing::File { file, remap } = &self.backing {
+            // Extend the file and the shared mapping *before* publishing
+            // the frontier, so no store can target pages that aren't
+            // file-backed yet. The remap lock serializes concurrent grows
+            // (and the shrink path); the file-length invariant means a
+            // kill anywhere in here leaves file_len >= every published
+            // frontier, which reopen heals from the durable word.
+            let _g = remap.lock();
+            let cur = self.committed.load(Ordering::Acquire);
+            if new_len > cur {
+                file.set_len(new_len as u64).expect("pool file grow failed");
+                let mapped = page_up(cur);
+                let target = page_up(new_len);
+                if target > mapped {
+                    // SAFETY: MAP_FIXED within our own reservation, page
+                    // offsets aligned; the extended range was PROT_NONE.
+                    unsafe {
+                        sys::mmap(
+                            self.base.add(mapped),
+                            target - mapped,
+                            sys::PROT_READ | sys::PROT_WRITE,
+                            sys::MAP_SHARED | sys::MAP_FIXED,
+                            raw_fd(file),
+                            mapped,
+                        )
+                        .expect("pool file map extension failed");
+                    }
+                }
+            }
+        }
         self.committed.fetch_max(new_len, Ordering::AcqRel).max(new_len)
     }
 
@@ -242,11 +465,49 @@ impl PmemPool {
                 Err(c) => cur = c,
             }
         }
-        // Zero the released tail of the volatile image: recommitting must
-        // observe lazily-materialized zero pages, not stale content.
-        // SAFETY: new_len..cur is in the reserved allocation; quiescence
-        // is the caller's contract.
-        unsafe { std::ptr::write_bytes(self.base.add(new_len), 0, cur - new_len) };
+        match &self.backing {
+            Backing::Heap(_) => {
+                // Zero the released tail of the volatile image:
+                // recommitting must observe lazily-materialized zero
+                // pages, not stale content.
+                // SAFETY: new_len..cur is in the reserved allocation;
+                // quiescence is the caller's contract.
+                unsafe { std::ptr::write_bytes(self.base.add(new_len), 0, cur - new_len) };
+            }
+            Backing::File { file, remap } => {
+                // Return the tail pages to PROT_NONE reservation, then
+                // truncate the file to keep file length == frontier. A
+                // kill between the two leaves the file long with the
+                // durable frontier word already lowered — reopen heals
+                // the word up over (stale, unreferenced) committed space
+                // and the dirty rebuild reclaims it. Truncation zeroes
+                // the partial page's tail in the page cache, and a later
+                // re-extension reads zeros, matching the Heap backing's
+                // fresh-zero-pages contract.
+                let _g = remap.lock();
+                let lo = page_up(new_len);
+                let hi = page_up(cur);
+                if hi > lo {
+                    // SAFETY: MAP_FIXED re-reservation of our own range;
+                    // quiescence per the caller's contract.
+                    unsafe {
+                        sys::mmap(
+                            self.base.add(lo),
+                            hi - lo,
+                            sys::PROT_NONE,
+                            sys::MAP_PRIVATE
+                                | sys::MAP_ANONYMOUS
+                                | sys::MAP_NORESERVE
+                                | sys::MAP_FIXED,
+                            -1,
+                            0,
+                        )
+                        .expect("pool file unmap failed");
+                    }
+                }
+                file.set_len(new_len as u64).expect("pool file shrink failed");
+            }
+        }
         if let Some(t) = &self.tracked {
             let mut st = t.lock();
             st.pending.retain(|line, _| line + CACHE_LINE <= new_len);
@@ -467,6 +728,15 @@ impl PmemPool {
     /// The file length *is* the committed frontier; the reserved span is
     /// re-derived from pool metadata on reopen.
     pub fn save(&self, path: &Path) -> io::Result<()> {
+        if self.is_mapped() {
+            // A mapped pool *is* its file: saving to its own path is a
+            // sync (never rewrite a live mapping's file under itself);
+            // any other path gets a plain copy of the committed prefix.
+            self.sync()?;
+            if self.guard.lock().as_ref().is_some_and(|g| g.path() == path) {
+                return Ok(());
+            }
+        }
         // SAFETY: committed-prefix read, caller quiescent.
         let data = unsafe { std::slice::from_raw_parts(self.base, self.committed_len()) };
         fs::write(path, data)
@@ -551,8 +821,15 @@ impl PmemPool {
 
 impl Drop for PmemPool {
     fn drop(&mut self) {
-        // SAFETY: allocated in `with_options` with this layout.
-        unsafe { dealloc(self.base, self.layout) }
+        match &self.backing {
+            // SAFETY: allocated in `with_reserve` with this layout.
+            Backing::Heap(layout) => unsafe { dealloc(self.base, *layout) },
+            // SAFETY: the whole reservation (file prefix + PROT_NONE
+            // tail) came from `map_file`'s mmap calls.
+            Backing::File { .. } => unsafe {
+                sys::munmap(self.base, self.len).ok();
+            },
+        }
     }
 }
 

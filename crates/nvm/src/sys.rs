@@ -1,0 +1,361 @@
+//! Minimal raw-syscall layer for the OS facilities the crash-testing
+//! substrate needs and `std` does not expose: shared file mappings
+//! (`mmap`/`munmap`/`msync`), advisory file locks (`flock`), and
+//! process control for the fork/SIGKILL harness (`fork`/`kill`/`wait4`).
+//!
+//! The workspace builds offline with no `libc` crate, so these are
+//! direct `syscall` instructions on x86_64 Linux. Every wrapper returns
+//! `io::Result`, translating the kernel's negative-errno convention into
+//! `io::Error::from_raw_os_error`. On any other target the module still
+//! compiles but every call returns [`io::ErrorKind::Unsupported`], so
+//! portable callers can degrade gracefully (the simulated in-memory pool
+//! never needs these).
+
+use std::io;
+
+// ------------------------------------------------------------ constants
+
+pub const PROT_NONE: usize = 0x0;
+pub const PROT_READ: usize = 0x1;
+pub const PROT_WRITE: usize = 0x2;
+
+pub const MAP_SHARED: usize = 0x01;
+pub const MAP_PRIVATE: usize = 0x02;
+pub const MAP_FIXED: usize = 0x10;
+pub const MAP_ANONYMOUS: usize = 0x20;
+/// Don't reserve swap for the mapping (cheap large reservations).
+pub const MAP_NORESERVE: usize = 0x4000;
+
+pub const MS_SYNC: usize = 4;
+
+pub const LOCK_SH: usize = 1;
+pub const LOCK_EX: usize = 2;
+pub const LOCK_NB: usize = 4;
+pub const LOCK_UN: usize = 8;
+
+pub const SIGKILL: i32 = 9;
+
+/// `wait4` option: return immediately when no child has exited yet.
+pub const WNOHANG: usize = 1;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    use super::*;
+
+    mod nr {
+        pub const MMAP: usize = 9;
+        pub const MUNMAP: usize = 11;
+        pub const MSYNC: usize = 26;
+        pub const GETPID: usize = 39;
+        pub const FORK: usize = 57;
+        pub const EXIT_GROUP: usize = 231;
+        pub const WAIT4: usize = 61;
+        pub const KILL: usize = 62;
+        pub const FLOCK: usize = 73;
+    }
+
+    /// Raw 6-argument syscall. Returns the kernel's raw result (negative
+    /// errno on failure).
+    ///
+    /// # Safety
+    /// The caller is responsible for the semantics of the specific
+    /// syscall: pointer arguments must be valid for the kernel's access,
+    /// and calls with process-global effects (`fork`, `exit_group`) have
+    /// the usual caveats.
+    unsafe fn syscall6(
+        n: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: the `syscall` instruction clobbers rcx/r11; all
+        // argument registers follow the x86_64 Linux ABI.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") n as isize => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                in("r9") a6,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    fn check(ret: isize) -> io::Result<usize> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    /// `mmap(addr, len, prot, flags, fd, offset)`.
+    ///
+    /// # Safety
+    /// With `MAP_FIXED` the caller must own the target address range;
+    /// the returned mapping aliases the file (or fresh anonymous pages)
+    /// and all access must respect the usual aliasing discipline.
+    pub unsafe fn mmap(
+        addr: *mut u8,
+        len: usize,
+        prot: usize,
+        flags: usize,
+        fd: i32,
+        offset: usize,
+    ) -> io::Result<*mut u8> {
+        // SAFETY: forwarded to the kernel; contract per fn docs.
+        let r = unsafe {
+            syscall6(nr::MMAP, addr as usize, len, prot, flags, fd as isize as usize, offset)
+        };
+        check(r).map(|p| p as *mut u8)
+    }
+
+    /// `munmap(addr, len)`.
+    ///
+    /// # Safety
+    /// The range must be a mapping this process owns and no longer uses.
+    pub unsafe fn munmap(addr: *mut u8, len: usize) -> io::Result<()> {
+        // SAFETY: per fn contract.
+        let r = unsafe { syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0) };
+        check(r).map(|_| ())
+    }
+
+    /// `msync(addr, len, flags)` — write a shared mapping's dirty pages
+    /// back to the file.
+    ///
+    /// # Safety
+    /// The range must lie within a live mapping.
+    pub unsafe fn msync(addr: *mut u8, len: usize, flags: usize) -> io::Result<()> {
+        // SAFETY: per fn contract.
+        let r = unsafe { syscall6(nr::MSYNC, addr as usize, len, flags, 0, 0, 0) };
+        check(r).map(|_| ())
+    }
+
+    /// `flock(fd, op)` — advisory whole-file lock. With `LOCK_NB` a held
+    /// lock surfaces as `EWOULDBLOCK`.
+    pub fn flock(fd: i32, op: usize) -> io::Result<()> {
+        // SAFETY: no memory arguments.
+        let r = unsafe { syscall6(nr::FLOCK, fd as usize, op, 0, 0, 0, 0) };
+        check(r).map(|_| ())
+    }
+
+    /// `fork()` — returns the child pid in the parent, 0 in the child.
+    ///
+    /// # Safety
+    /// Must only be called while the process is single-threaded (a
+    /// forked child inherits only the calling thread, so locks held by
+    /// other threads stay locked forever in the child).
+    pub unsafe fn fork() -> io::Result<i32> {
+        // SAFETY: per fn contract.
+        let r = unsafe { syscall6(nr::FORK, 0, 0, 0, 0, 0, 0) };
+        check(r).map(|pid| pid as i32)
+    }
+
+    /// `kill(pid, sig)`.
+    pub fn kill(pid: i32, sig: i32) -> io::Result<()> {
+        // SAFETY: no memory arguments.
+        let r = unsafe { syscall6(nr::KILL, pid as usize, sig as usize, 0, 0, 0, 0) };
+        check(r).map(|_| ())
+    }
+
+    /// `getpid()`.
+    pub fn getpid() -> i32 {
+        // SAFETY: no arguments, cannot fail.
+        unsafe { syscall6(nr::GETPID, 0, 0, 0, 0, 0, 0) as i32 }
+    }
+
+    /// `wait4(pid, &status, options, NULL)` — returns `(pid, status)`;
+    /// pid 0 when `WNOHANG` was set and the child is still running.
+    pub fn wait4(pid: i32, options: usize) -> io::Result<(i32, i32)> {
+        let mut status: i32 = 0;
+        // SAFETY: status points at a live i32.
+        let r = unsafe {
+            syscall6(
+                nr::WAIT4,
+                pid as isize as usize,
+                &mut status as *mut i32 as usize,
+                options,
+                0,
+                0,
+                0,
+            )
+        };
+        check(r).map(|p| (p as i32, status))
+    }
+
+    /// `exit_group(code)` — terminate the whole process immediately,
+    /// without running libc atexit handlers or Rust destructors. The
+    /// fork harness's child exits through this so it never flushes
+    /// stdio buffers inherited (duplicated) from the parent.
+    pub fn exit_group(code: i32) -> ! {
+        // SAFETY: terminates the process; no return.
+        unsafe {
+            syscall6(nr::EXIT_GROUP, code as usize, 0, 0, 0, 0, 0);
+        }
+        unreachable!("exit_group returned");
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    use super::*;
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "nvm::sys requires x86_64 Linux",
+        ))
+    }
+
+    /// # Safety
+    /// See the x86_64 implementation; this stub never dereferences.
+    pub unsafe fn mmap(
+        _addr: *mut u8,
+        _len: usize,
+        _prot: usize,
+        _flags: usize,
+        _fd: i32,
+        _offset: usize,
+    ) -> io::Result<*mut u8> {
+        unsupported()
+    }
+
+    /// # Safety
+    /// See the x86_64 implementation; this stub never dereferences.
+    pub unsafe fn munmap(_addr: *mut u8, _len: usize) -> io::Result<()> {
+        unsupported()
+    }
+
+    /// # Safety
+    /// See the x86_64 implementation; this stub never dereferences.
+    pub unsafe fn msync(_addr: *mut u8, _len: usize, _flags: usize) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn flock(_fd: i32, _op: usize) -> io::Result<()> {
+        // Advisory locking degrades to a no-op rather than an error:
+        // single-process use (the only kind possible without fork) is
+        // still correct, and open paths stay usable on other hosts.
+        Ok(())
+    }
+
+    /// # Safety
+    /// See the x86_64 implementation; this stub never forks.
+    pub unsafe fn fork() -> io::Result<i32> {
+        unsupported()
+    }
+
+    pub fn kill(_pid: i32, _sig: i32) -> io::Result<()> {
+        unsupported()
+    }
+
+    pub fn getpid() -> i32 {
+        std::process::id() as i32
+    }
+
+    pub fn wait4(_pid: i32, _options: usize) -> io::Result<(i32, i32)> {
+        unsupported()
+    }
+
+    pub fn exit_group(code: i32) -> ! {
+        std::process::exit(code)
+    }
+}
+
+pub use imp::{exit_group, flock, fork, getpid, kill, mmap, msync, munmap, wait4};
+
+/// True when the raw-syscall layer is the real thing (fork/mmap harness
+/// available), false on the stubbed fallback.
+pub const fn available() -> bool {
+    cfg!(all(target_os = "linux", target_arch = "x86_64"))
+}
+
+/// Decode a `wait4` status word: `Some(sig)` if the child was terminated
+/// by signal `sig`.
+pub fn term_signal(status: i32) -> Option<i32> {
+    let sig = status & 0x7f;
+    if sig != 0 && sig != 0x7f {
+        Some(sig)
+    } else {
+        None
+    }
+}
+
+/// Decode a `wait4` status word: `Some(code)` if the child exited
+/// normally with `code`.
+pub fn exit_code(status: i32) -> Option<i32> {
+    if status & 0x7f == 0 {
+        Some((status >> 8) & 0xff)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn getpid_matches_std() {
+        assert_eq!(getpid() as u32, std::process::id());
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn anonymous_map_round_trip() {
+        // SAFETY: fresh anonymous mapping, unmapped at the end.
+        unsafe {
+            let p = mmap(
+                std::ptr::null_mut(),
+                8192,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+            .expect("anon mmap");
+            assert_eq!(p as usize % 4096, 0);
+            std::ptr::write(p, 0xAB);
+            assert_eq!(std::ptr::read(p), 0xAB);
+            munmap(p, 8192).expect("munmap");
+        }
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn flock_excludes_second_descriptor() {
+        use std::os::fd::AsRawFd;
+        let dir = std::env::temp_dir().join(format!("nvm-sys-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lock");
+        let f1 = std::fs::File::create(&path).unwrap();
+        let f2 = std::fs::File::open(&path).unwrap();
+        flock(f1.as_raw_fd(), LOCK_EX | LOCK_NB).expect("first lock");
+        let err = flock(f2.as_raw_fd(), LOCK_EX | LOCK_NB).expect_err("second lock must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        flock(f1.as_raw_fd(), LOCK_UN).unwrap();
+        flock(f2.as_raw_fd(), LOCK_EX | LOCK_NB).expect("lock after unlock");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn wait_status_decoders() {
+        // 0x0900 = exited with code 9; 0x0009 = killed by SIGKILL.
+        assert_eq!(exit_code(0x0900), Some(9));
+        assert_eq!(term_signal(0x0900), None);
+        assert_eq!(term_signal(0x0009), Some(SIGKILL));
+        assert_eq!(exit_code(0x0009), None);
+    }
+}

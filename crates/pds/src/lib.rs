@@ -20,15 +20,26 @@
 //! functions ([`ralloc::Trace`] impls) so the recovery GC traces them
 //! precisely. Their node links are superblock-region offsets packed with
 //! ABA counters or mark bits — position-independent by construction.
+//!
+//! The kill-based crash harness (`crates/crashtest`) needs a recoverable
+//! variant of every workload structure, so three more live here:
+//! [`PQueue`] (recoverable MS queue), [`PKv`] (recoverable chained hash
+//! map) and [`PRbTree`] (persistent op-log + transient red-black index).
 
 mod kvstore;
 mod nmtree;
+mod pkv;
+mod pqueue;
+mod prbtree;
 mod queue;
 mod rbtree;
 mod stack;
 
 pub use kvstore::KvStore;
-pub use nmtree::NmTree;
+pub use nmtree::{NmNode, NmTree};
+pub use pkv::{KvHead, PKv};
+pub use pqueue::{PQueue, QueueHead};
+pub use prbtree::{PRbTree, TreeLogHead};
 pub use queue::MsQueue;
 pub use rbtree::RbTree;
-pub use stack::PStack;
+pub use stack::{PStack, StackHead};

@@ -1,0 +1,345 @@
+//! A recoverable concurrent hash map (`u64 → u64`).
+//!
+//! [`KvStore`] is the *transient* memcached-style store (DRAM bucket
+//! vector, byte values) the allocator-comparison figures run on. This is
+//! its **recoverable** counterpart for the crash harness: a fixed bucket
+//! array and chained entries living entirely in a Ralloc heap, reachable
+//! from a registered root, links as region offsets, with a
+//! [`ralloc::Trace`] filter for precise recovery tracing.
+//!
+//! Crash-safety comes from two single-word publishes:
+//!
+//! * **insert**: the entry (key, value, chain link) is written and
+//!   persisted *before* the bucket head CAS links it in, so a crash can
+//!   only miss the whole entry, never expose a torn one. Chains grow at
+//!   the head and entries are never unlinked, so a plain offset CAS
+//!   needs no ABA counter.
+//! * **update / remove**: a single atomic store to the entry's value
+//!   word (remove stores a tombstone), persisted after. Values are
+//!   restricted to `u64` precisely so updates can never tear.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ralloc::{PersistentAllocator, Ralloc, Trace, Tracer};
+
+/// Fixed bucket count (entries chain within a bucket).
+const BUCKETS: usize = 512;
+
+/// Reserved value encoding "logically deleted". `u64::MAX` is therefore
+/// not storable; [`PKv::insert`] rejects it.
+const TOMBSTONE: u64 = u64::MAX;
+
+#[inline]
+fn bucket_of(key: u64) -> usize {
+    // Fibonacci hashing spreads sequential keys (the workloads use
+    // per-thread key ranges) across buckets.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 55) as usize % BUCKETS
+}
+
+/// Bucket-array head block: lives in the heap, registered as a root.
+/// Each slot is a region offset + 1 of the first chain entry (0 = empty).
+#[repr(C)]
+pub struct KvHead {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+/// A chain entry. `key` and `next` are immutable after publication;
+/// `value` is atomically updatable (tombstone = deleted).
+#[repr(C)]
+pub struct KvEntry {
+    key: u64,
+    value: AtomicU64,
+    /// Region offset + 1 of the next entry (0 = end).
+    next: u64,
+}
+
+unsafe impl Trace for KvHead {
+    fn trace(&self, t: &mut Tracer<'_>) {
+        for b in &self.buckets {
+            if let Some(off) = b.load(Ordering::Relaxed).checked_sub(1) {
+                t.visit_region_offset::<KvEntry>(off);
+            }
+        }
+    }
+}
+
+unsafe impl Trace for KvEntry {
+    fn trace(&self, t: &mut Tracer<'_>) {
+        if let Some(off) = self.next.checked_sub(1) {
+            t.visit_region_offset::<KvEntry>(off);
+        }
+    }
+}
+
+/// A persistent, recoverable, lock-free `u64 → u64` hash map on a Ralloc
+/// heap.
+pub struct PKv {
+    heap: Ralloc,
+    head: *mut KvHead,
+}
+
+// SAFETY: all shared mutation goes through atomics in the heap.
+unsafe impl Send for PKv {}
+unsafe impl Sync for PKv {}
+
+impl PKv {
+    /// Create a fresh map whose bucket block is registered as root `root`.
+    pub fn create(heap: &Ralloc, root: usize) -> PKv {
+        let head = heap.malloc(std::mem::size_of::<KvHead>()) as *mut KvHead;
+        assert!(!head.is_null(), "heap exhausted creating kv bucket block");
+        // SAFETY: fresh block, exclusively owned.
+        unsafe {
+            for b in &(*head).buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        heap.persist(head as *const u8, std::mem::size_of::<KvHead>());
+        heap.set_root::<KvHead>(root, head);
+        PKv { heap: heap.clone(), head }
+    }
+
+    /// Re-attach to a map persisted at root `root`.
+    pub fn attach(heap: &Ralloc, root: usize) -> Option<PKv> {
+        let head = heap.get_root::<KvHead>(root);
+        if head.is_null() {
+            return None;
+        }
+        Some(PKv { heap: heap.clone(), head })
+    }
+
+    #[inline]
+    fn bucket(&self, i: usize) -> &AtomicU64 {
+        // SAFETY: head block is live for the map's lifetime.
+        unsafe { &(*self.head).buckets[i] }
+    }
+
+    #[inline]
+    fn to_addr(&self, off: u64) -> usize {
+        self.heap.region_base() + off as usize
+    }
+
+    /// Find the entry for `key` in its chain (including tombstoned ones —
+    /// the entry is the key's permanent home once linked).
+    fn find(&self, key: u64) -> Option<*mut KvEntry> {
+        let mut cur1 = self.bucket(bucket_of(key)).load(Ordering::Acquire);
+        while let Some(off) = cur1.checked_sub(1) {
+            let e = self.to_addr(off) as *mut KvEntry;
+            // SAFETY: published entries are immutable in key/next.
+            let (k, next) = unsafe { ((*e).key, (*e).next) };
+            if k == key {
+                return Some(e);
+            }
+            cur1 = next;
+        }
+        None
+    }
+
+    /// Insert or update `key → value`. Lock-free. Returns false only on
+    /// heap exhaustion. `value` must not be `u64::MAX` (tombstone).
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        assert!(value != TOMBSTONE, "u64::MAX is the tombstone value");
+        loop {
+            if let Some(e) = self.find(key) {
+                // SAFETY: entry is live; value is the mutable word.
+                let v = unsafe { &(*e).value };
+                v.store(value, Ordering::Release);
+                self.heap.persist(v as *const AtomicU64 as *const u8, 8);
+                return true;
+            }
+            // No entry: publish a fresh one at the chain head.
+            let bucket = self.bucket(bucket_of(key));
+            let head1 = bucket.load(Ordering::Acquire);
+            let e = self.heap.malloc(std::mem::size_of::<KvEntry>()) as *mut KvEntry;
+            if e.is_null() {
+                return false;
+            }
+            // SAFETY: we own the unpublished entry.
+            unsafe {
+                (*e).key = key;
+                (*e).value = AtomicU64::new(value);
+                (*e).next = head1;
+            }
+            self.heap.persist(e as *const u8, std::mem::size_of::<KvEntry>());
+            let e_off1 = (e as usize - self.heap.region_base()) as u64 + 1;
+            if bucket
+                .compare_exchange(head1, e_off1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                self.heap.persist(bucket as *const AtomicU64 as *const u8, 8);
+                return true;
+            }
+            // Lost the race: another thread changed the chain (possibly
+            // inserting this very key). Unpublish ours and retry from
+            // the find.
+            self.heap.free(e as *mut u8);
+        }
+    }
+
+    /// Read the value for `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let e = self.find(key)?;
+        // SAFETY: entry is live.
+        let v = unsafe { (*e).value.load(Ordering::Acquire) };
+        (v != TOMBSTONE).then_some(v)
+    }
+
+    /// Logically remove `key`, returning the previous value. The entry
+    /// stays linked as a tombstone (chains never unlink — that is what
+    /// keeps publication single-word).
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        let e = self.find(key)?;
+        // SAFETY: entry is live.
+        let v = unsafe { &(*e).value };
+        let prev = v.swap(TOMBSTONE, Ordering::AcqRel);
+        self.heap.persist(v as *const AtomicU64 as *const u8, 8);
+        (prev != TOMBSTONE).then_some(prev)
+    }
+
+    /// Number of live (non-tombstoned) keys (O(n); offline use).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// True if no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot all live `(key, value)` pairs, unordered (offline use).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for i in 0..BUCKETS {
+            let mut cur1 = self.bucket(i).load(Ordering::Acquire);
+            while let Some(off) = cur1.checked_sub(1) {
+                // SAFETY: offline traversal.
+                let e = unsafe { &*(self.to_addr(off) as *const KvEntry) };
+                let v = e.value.load(Ordering::Acquire);
+                if v != TOMBSTONE {
+                    out.push((e.key, v));
+                }
+                cur1 = e.next;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ralloc::RallocConfig;
+
+    fn heap() -> Ralloc {
+        Ralloc::create(16 << 20, RallocConfig::tracked())
+    }
+
+    #[test]
+    fn basic_map_semantics() {
+        let h = heap();
+        let m = PKv::create(&h, 0);
+        assert_eq!(m.get(1), None);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(1), Some(10));
+        m.insert(1, 11);
+        assert_eq!(m.get(1), Some(11));
+        assert_eq!(m.remove(1), Some(11));
+        assert_eq!(m.get(1), None);
+        assert_eq!(m.remove(1), None);
+        // Re-insert over a tombstone.
+        m.insert(1, 12);
+        assert_eq!(m.get(1), Some(12));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_disjoint_keys() {
+        let h = Ralloc::create(64 << 20, RallocConfig::default());
+        let m = PKv::create(&h, 0);
+        let n_threads = 8u64;
+        let per = 2000u64;
+        std::thread::scope(|sc| {
+            for t in 0..n_threads {
+                let m = &m;
+                sc.spawn(move || {
+                    for i in 0..per {
+                        let k = t * per + i;
+                        assert!(m.insert(k, k * 2));
+                        if i % 3 == 0 {
+                            m.remove(k);
+                        }
+                    }
+                });
+            }
+        });
+        for t in 0..n_threads {
+            for i in 0..per {
+                let k = t * per + i;
+                let expect = (i % 3 != 0).then_some(k * 2);
+                assert_eq!(m.get(k), expect, "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn racing_inserts_on_one_key_keep_one_entry() {
+        let h = Ralloc::create(64 << 20, RallocConfig::default());
+        let m = PKv::create(&h, 0);
+        std::thread::scope(|sc| {
+            for t in 0..8u64 {
+                let m = &m;
+                sc.spawn(move || {
+                    for _ in 0..500 {
+                        m.insert(42, t + 1);
+                    }
+                });
+            }
+        });
+        let v = m.get(42).expect("key present");
+        assert!((1..=8).contains(&v));
+        assert_eq!(m.snapshot().iter().filter(|(k, _)| *k == 42).count(), 1);
+    }
+
+    #[test]
+    fn survives_crash_and_recovery() {
+        let h = heap();
+        let m = PKv::create(&h, 0);
+        for k in 0..200 {
+            m.insert(k, k + 1000);
+        }
+        for k in 0..50 {
+            m.remove(k);
+        }
+        h.crash_simulated();
+        let stats = h.recover();
+        // Bucket block + 200 entries (tombstones stay linked).
+        assert_eq!(stats.reachable_blocks, 201);
+        let m = PKv::attach(&h, 0).unwrap();
+        assert_eq!(m.len(), 150);
+        for k in 0..200 {
+            let expect = (k >= 50).then_some(k + 1000);
+            assert_eq!(m.get(k), expect);
+        }
+        // Still operational.
+        m.insert(7, 7);
+        assert_eq!(m.get(7), Some(7));
+    }
+
+    #[test]
+    fn position_independent_across_remap() {
+        let h = heap();
+        let m = PKv::create(&h, 0);
+        for k in 0..64 {
+            m.insert(k, k * k);
+        }
+        let image = h.pool().persistent_image();
+        drop((m, h));
+        let (h2, dirty) = Ralloc::from_image(&image, RallocConfig::tracked());
+        assert!(dirty);
+        let _ = h2.get_root::<KvHead>(0);
+        h2.recover();
+        let m2 = PKv::attach(&h2, 0).unwrap();
+        assert_eq!(m2.len(), 64);
+        assert_eq!(m2.get(9), Some(81));
+    }
+}

@@ -1,84 +1,83 @@
-//! Crash recovery in depth: crash-point injection, GC of leaked blocks,
-//! and remapping the surviving image at a different address.
+//! Crash recovery in depth — the kill-based path, end to end.
+//!
+//! Earlier revisions of this example simulated power failure inside one
+//! process (an armed injector panicking at a persistence event). That
+//! model still exists in `tests/recoverability.rs`, but the real harness
+//! now lives in the `crashtest` crate and this example drives it: fork a
+//! child that hammers a recoverable structure in a live file-backed pool
+//! (`MAP_SHARED`), SIGKILL it mid-flight, reopen the file, recover, and
+//! check the visibility oracles — every acked operation exactly-once
+//! visible, every in-flight operation at-most-once.
 //!
 //! ```text
 //! cargo run --example crash_recovery
 //! ```
+//!
+//! Must stay single-threaded up to the `run_once` calls (fork safety).
 
-
-use nvm::{CrashInjector, CrashPoint};
-use pds::PStack;
-use ralloc::{Ralloc, RallocConfig};
+use crashtest::{run_once, seed_from_env, KillSpec, RunConfig, Structure, XorShift};
 
 fn main() {
-    // A heap in Tracked mode: only flushed-and-fenced cache lines survive
-    // a crash, and the injector can abort at any persistence event.
-    let injector = CrashInjector::new();
-    let cfg = RallocConfig {
-        injector: Some(injector.clone()),
-        ..RallocConfig::tracked()
-    };
-    let heap = Ralloc::create(16 << 20, cfg);
-
-    // A recoverable lock-free stack rooted in the heap.
-    let stack = PStack::create(&heap, 0);
-    for i in 0..1000 {
-        stack.push(i);
+    if !nvm::sys::available() {
+        eprintln!("kill-based crash testing needs the raw syscall layer (x86_64 Linux); skipping");
+        return;
     }
-    println!("pushed 1000 values; stack len = {}", stack.len());
+    let pool = std::env::temp_dir().join("crash_recovery_example.pool");
+    let seed = seed_from_env();
+    println!("seed = {seed:#x}  (replay with RALLOC_CRASH_SEED={seed:#x})");
 
-    // Leak some blocks on purpose: allocated but never attached — the
-    // exact window the paper's GC-based recovery is designed for (§1).
-    for _ in 0..5000 {
-        let _ = heap.malloc(64);
-    }
-    println!("leaked 5000 unattached blocks");
-
-    // Now crash *in the middle of* an operation: arm the injector so the
-    // 3rd persistence event from now aborts the push mid-flight.
-    injector.arm(3);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        stack.push(424242);
-    }));
-    injector.disarm();
-    assert!(result.is_err() && CrashPoint::is(&*result.unwrap_err()));
-    println!("crashed mid-push at an injected crash point");
-
-    // Power failure: volatile contents (thread caches, unflushed lines,
-    // in-flight push) are gone.
-    heap.crash_simulated();
-
-    // Save the crash image and remap it at a different address, like a
-    // reboot that maps the DAX file elsewhere (position independence).
-    let image = heap.pool().persistent_image();
-    drop((stack, heap));
-    let (heap, dirty) = Ralloc::from_image(&image, RallocConfig::tracked());
-    assert!(dirty, "image must be flagged dirty");
-    println!("remapped crash image at a new base; dirty = {dirty}");
-
-    // getRoot<T> re-registers the filter function, then recover().
-    let stack = PStack::attach(&heap, 0).expect("root survived");
-    let stats = heap.recover();
+    // Round 1: control run. No kill — the child completes its 4-thread
+    // queue workload, the parent reopens the pool and checks that every
+    // acked op is visible and nothing is duplicated or conjured.
+    let mut cfg = RunConfig::new(Structure::Queue, pool.clone(), seed);
+    let report = run_once(&cfg).expect("clean run must pass its oracle");
     println!(
-        "recovery: {} reachable blocks, {} superblocks freed, {} on partial lists, {:?}",
-        stats.reachable_blocks,
-        stats.free_superblocks,
-        stats.partial_superblocks,
-        stats.duration,
+        "control: killed={} records={} acked={} inflight={}",
+        report.killed, report.records, report.acked, report.inflight
     );
+    assert!(!report.killed && report.inflight == 0);
 
-    // All 1000 durable pushes survived (the interrupted one may or may
-    // not, but nothing else was lost and nothing was corrupted).
-    let n = stack.len();
-    assert!(n == 1000 || n == 1001, "unexpected stack length {n}");
-    println!("stack intact with {n} elements; leaked blocks were reclaimed by GC");
+    // Round 2: deterministic kill. The child SIGKILLs itself at exactly
+    // the N-th persistence event after the workload starts — same seed,
+    // same N, same kill point, every time. This is how a failing sweep
+    // round is replayed under a debugger. Bit-identical replay needs a
+    // single workload thread (with more, the kill point is exact but the
+    // interleaving around it is not).
+    cfg.threads = 1;
+    cfg.kill = KillSpec::Events(900);
+    let a = run_once(&cfg).expect("oracle must hold after an event-count kill");
+    let b = run_once(&cfg).expect("replay must also pass");
+    println!(
+        "event kill: killed={} records={} acked={} inflight={}",
+        a.killed, a.records, a.acked, a.inflight
+    );
+    assert_eq!(
+        (a.records, a.acked, a.inflight),
+        (b.records, b.acked, b.inflight),
+        "same seed + same event budget must reproduce the identical kill point"
+    );
+    println!("replay reproduced the identical kill point");
 
-    // And the heap is fully serviceable.
-    for _ in 0..1000 {
-        let p = heap.malloc(64);
-        assert!(!p.is_null());
-        heap.free(p);
+    // Round 3: asynchronous kills at random wall-clock offsets, across
+    // the other structures — map oracles (exact last-writer state per
+    // key) instead of conservation, plus the heap checker each round.
+    let mut rng = XorShift::new(seed ^ 0xD15EA5E);
+    for s in [Structure::Stack, Structure::Kv, Structure::NmTree, Structure::RbTree] {
+        let mut cfg = RunConfig::new(s, pool.clone(), rng.next_u64() | 1);
+        cfg.ops_per_thread = 60_000; // long enough that the timed kill lands mid-run
+        cfg.kill = KillSpec::TimeMicros(rng.range(2_000, 60_000));
+        let r = run_once(&cfg).expect("oracle must hold after a timed kill");
+        println!(
+            "{:>6}: killed={} setup_died={} records={} acked={} inflight={}",
+            s.name(),
+            r.killed,
+            r.died_in_setup,
+            r.records,
+            r.acked,
+            r.inflight
+        );
     }
-    heap.close().unwrap();
-    println!("done.");
+
+    crashtest::cleanup(&cfg);
+    println!("done: every round recovered with its oracle green.");
 }

@@ -320,6 +320,109 @@ fn recovery_waits_out_thread_exit_cache_drains() {
     }
 }
 
+/// Satellite of the kill-based harness (`crates/crashtest`): the same
+/// op-log + visibility oracles it runs after a real SIGKILL, bridged
+/// into the cooperative tracked-mode sweep. Every crash point through a
+/// mixed enqueue/dequeue run must leave the recovered queue exactly
+/// consistent with the persisted log: acked ops exactly-once visible,
+/// the in-flight op at-most-once.
+#[test]
+fn oracle_checked_crash_sweep_queue() {
+    use crashtest::oplog::{self, OpKind, OpWriter, RES_NONE};
+    use crashtest::oracle;
+    use pds::PQueue;
+
+    let total_events = {
+        let (heap, inj) = tracked_with_injector();
+        let q = PQueue::create(&heap, 0);
+        let dir = oplog::create(&heap, 1, 1);
+        let before = inj.observed();
+        queue_workload(&heap, &q, dir);
+        inj.observed() - before
+    };
+    for budget in (0..total_events).step_by(9) {
+        let (heap, inj) = tracked_with_injector();
+        let q = PQueue::create(&heap, 0);
+        let dir = oplog::create(&heap, 1, 1);
+        let crashed = run_until_crash(&inj, budget, || queue_workload(&heap, &q, dir));
+        assert!(crashed, "budget {budget} did not crash");
+        drop(q);
+        heap.crash_simulated();
+        heap.recover();
+        let q = PQueue::attach(&heap, 0).expect("queue anchor persisted at create");
+        let dir = oplog::attach(&heap, 1).expect("op-log dir persisted at create");
+        let logs = oplog::read_logs(&heap, dir).unwrap();
+        oracle::check_conservation(&logs, &q.snapshot(), false)
+            .unwrap_or_else(|e| panic!("budget {budget}: oracle violation: {e}"));
+    }
+
+    fn queue_workload(heap: &Ralloc, q: &pds::PQueue, dir: *mut oplog::OpLogDir) {
+        let mut w = OpWriter::new(heap, dir, 0);
+        let mut seq = 0u64;
+        for i in 0..40u64 {
+            if i % 3 != 2 {
+                seq += 1;
+                w.begin(OpKind::Enqueue, seq, 0);
+                assert!(q.enqueue(seq));
+                w.ack(0);
+            } else {
+                w.begin(OpKind::Dequeue, 0, 0);
+                let res = q.dequeue().map_or(RES_NONE, |v| v);
+                w.ack(res);
+            }
+        }
+    }
+}
+
+/// Same bridge for the stack: LIFO order plus conservation under every
+/// crash point of a push/pop mix.
+#[test]
+fn oracle_checked_crash_sweep_stack() {
+    use crashtest::oplog::{self, OpKind, OpWriter, RES_NONE};
+    use crashtest::oracle;
+
+    let total_events = {
+        let (heap, inj) = tracked_with_injector();
+        let st = PStack::create(&heap, 0);
+        let dir = oplog::create(&heap, 1, 1);
+        let before = inj.observed();
+        stack_workload(&heap, &st, dir);
+        inj.observed() - before
+    };
+    for budget in (0..total_events).step_by(9) {
+        let (heap, inj) = tracked_with_injector();
+        let st = PStack::create(&heap, 0);
+        let dir = oplog::create(&heap, 1, 1);
+        let crashed = run_until_crash(&inj, budget, || stack_workload(&heap, &st, dir));
+        assert!(crashed, "budget {budget} did not crash");
+        drop(st);
+        heap.crash_simulated();
+        heap.recover();
+        let st = PStack::attach(&heap, 0).expect("stack head persisted at create");
+        let dir = oplog::attach(&heap, 1).expect("op-log dir persisted at create");
+        let logs = oplog::read_logs(&heap, dir).unwrap();
+        oracle::check_conservation(&logs, &st.snapshot(), true)
+            .unwrap_or_else(|e| panic!("budget {budget}: oracle violation: {e}"));
+    }
+
+    fn stack_workload(heap: &Ralloc, st: &PStack, dir: *mut oplog::OpLogDir) {
+        let mut w = OpWriter::new(heap, dir, 0);
+        let mut seq = 0u64;
+        for i in 0..40u64 {
+            if i % 3 != 2 {
+                seq += 1;
+                w.begin(OpKind::Push, seq, 0);
+                assert!(st.push(seq));
+                w.ack(0);
+            } else {
+                w.begin(OpKind::Pop, 0, 0);
+                let res = st.pop().map_or(RES_NONE, |v| v);
+                w.ack(res);
+            }
+        }
+    }
+}
+
 mod random_crash_proptests {
     use super::*;
     use proptest::prelude::*;
