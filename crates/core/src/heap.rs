@@ -29,10 +29,11 @@ use telemetry::{Counter, EventKind, Journal, Registry, SamplerHandle};
 
 use crate::anchor::{Anchor, SbState};
 use crate::descriptor::{Desc, DescKind};
+use crate::flight::{self, FlightLevel, FlightRecorder, FlightScan};
 use crate::gc::{trace_thunk, Trace, TraceFn};
 use crate::layout::{
-    Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, MAGIC, MAGIC_OFF, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF,
-    USED_SB_OFF,
+    Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, FLIGHT_HDR_SIZE, FLIGHT_OFF, MAGIC, MAGIC_OFF,
+    MAGIC_V3, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
 };
 use crate::lists::DescList;
 use crate::shard::{self, ShardedPartial};
@@ -195,6 +196,11 @@ pub struct RallocConfig {
     /// fully-free superblock run at quiescent points). Env override:
     /// `RALLOC_SHRINK=off|close|recovery|both`.
     pub shrink_policy: ShrinkPolicy,
+    /// What the persistent flight recorder writes into the pool's
+    /// crash-surviving event ring (see [`crate::flight`]). Forced to
+    /// [`FlightLevel::Off`] on transient heaps (nothing persists there
+    /// by definition). Env override: `RALLOC_FLIGHT=off|proto|all`.
+    pub flight_level: FlightLevel,
 }
 
 impl Default for RallocConfig {
@@ -210,6 +216,7 @@ impl Default for RallocConfig {
             max_capacity: None,
             growth_factor: 2.0,
             shrink_policy: ShrinkPolicy::Both,
+            flight_level: FlightLevel::Proto,
         }
     }
 }
@@ -423,6 +430,14 @@ pub struct HeapInner {
     /// Ring buffer of persistence-protocol events (grow/shrink phases,
     /// recovery phases, fill/flush/steal/carve).
     pub(crate) journal: Journal,
+    /// Crash-surviving protocol-event ring living inside the pool's
+    /// metadata region (see [`crate::flight`]). The volatile journal's
+    /// durable sibling: same event schema, survives SIGKILL.
+    pub(crate) flight: FlightRecorder,
+    /// The pool's flight timeline as found at adoption, *before* this
+    /// process wrote anything — the previous run's last recorded steps
+    /// (the victim's, after a crash). Empty for fresh heaps.
+    preopen_flight: FlightScan,
     /// Background JSONL sampler, when started (env knob or API).
     sampler: Mutex<Option<SamplerHandle>>,
 }
@@ -551,6 +566,13 @@ impl HeapInner {
         }
     }
 
+    /// Record an event in the persistent flight ring (level-gated; see
+    /// [`crate::flight`]).
+    #[inline]
+    pub(crate) fn flight_record(&self, kind: EventKind, a: u64, b: u64) {
+        self.flight.record(&self.pool, kind, a, b);
+    }
+
     /// Number of superblocks carved so far (the paper's `used`).
     pub(crate) fn used_sb(&self) -> usize {
         // SAFETY: metadata offset, 8-aligned.
@@ -659,8 +681,10 @@ impl HeapInner {
             }
             self.persist(COMMITTED_LEN_OFF, 8);
             self.journal.record(EventKind::GrowCommit, target as u64, 0);
+            self.flight_record(EventKind::GrowCommit, target as u64, 0);
             self.committed_safe.fetch_max(target as u64, Ordering::AcqRel);
             self.journal.record(EventKind::GrowPublish, target as u64, 0);
+            self.flight_record(EventKind::GrowPublish, target as u64, 0);
             self.slow.heap_grows.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -765,6 +789,7 @@ impl HeapInner {
         debug_assert!(target >= self.geo.min_committed());
         self.committed_safe.store(target as u64, Ordering::Release);
         self.journal.record(EventKind::ShrinkUnpublish, target as u64, new_used as u64);
+        self.flight_record(EventKind::ShrinkUnpublish, target as u64, new_used as u64);
         // Step 3: CAS-min the durable frontier word, then persist it.
         // SAFETY: metadata word.
         let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) };
@@ -785,6 +810,7 @@ impl HeapInner {
             (released * SB_SIZE) as u64,
             target as u64,
         );
+        self.flight_record(EventKind::ShrinkDecommit, (released * SB_SIZE) as u64, target as u64);
         self.slow.heap_shrinks.fetch_add(1, Ordering::Relaxed);
         self.slow.sb_released.fetch_add(released as u64, Ordering::Relaxed);
         released
@@ -883,6 +909,7 @@ impl HeapInner {
                 self.persist(USED_SB_OFF, 8);
                 self.slow.sb_carved.fetch_add(n as u64, Ordering::Relaxed);
                 self.journal.record(EventKind::Carve, u, n as u64);
+                self.flight_record(EventKind::Carve, u, n as u64);
                 return Some(u as u32);
             }
         }
@@ -912,6 +939,7 @@ impl HeapInner {
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fill_blocks.fetch_add(warm.len() as u64, Ordering::Relaxed);
                 self.journal.record(EventKind::Fill, warm.len() as u64, class as u64);
+                self.flight_record(EventKind::Fill, warm.len() as u64, class as u64);
                 *bin = warm;
                 return true;
             }
@@ -997,6 +1025,7 @@ impl HeapInner {
                 if pop.stolen {
                     self.slow.partial_steals.fetch_add(1, Ordering::Relaxed);
                     self.journal.record(EventKind::Steal, idx as u64, class as u64);
+                    self.flight_record(EventKind::Steal, idx as u64, class as u64);
                 } else {
                     self.slow.partial_pops_home.fetch_add(1, Ordering::Relaxed);
                 }
@@ -1046,6 +1075,7 @@ impl HeapInner {
                 self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
                 self.slow.cache_fill_blocks.fetch_add(keep_n as u64, Ordering::Relaxed);
                 self.journal.record(EventKind::Fill, keep_n as u64, class as u64);
+                self.flight_record(EventKind::Fill, keep_n as u64, class as u64);
                 return true;
             }
             // No partial superblock: take a free one, scavenge an empty
@@ -1115,6 +1145,7 @@ impl HeapInner {
             self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
             self.slow.cache_fill_blocks.fetch_add(keep as u64, Ordering::Relaxed);
             self.journal.record(EventKind::Fill, keep as u64, class as u64);
+            self.flight_record(EventKind::Fill, keep as u64, class as u64);
             return true;
         }
     }
@@ -1343,6 +1374,7 @@ impl HeapInner {
         self.slow.cache_flushes.fetch_add(1, Ordering::Relaxed);
         self.slow.cache_flushes_blocks.fetch_add(n, Ordering::Relaxed);
         self.journal.record(EventKind::Flush, n, 0);
+        self.flight_record(EventKind::Flush, n, 0);
         self.flush_blocks(bin.blocks_mut());
         bin.clear();
     }
@@ -1361,6 +1393,7 @@ impl HeapInner {
         self.slow.cache_flushes_blocks.fetch_add(half as u64, Ordering::Relaxed);
         self.slow.half_flushes.fetch_add(1, Ordering::Relaxed);
         self.journal.record(EventKind::Flush, half as u64, 0);
+        self.flight_record(EventKind::Flush, half as u64, 0);
         self.flush_blocks(&mut bin.blocks_mut()[..half]);
         bin.drain_front(half);
     }
@@ -1601,13 +1634,14 @@ impl Ralloc {
     }
 
     /// Read the reserved span recorded in a heap file's header, if it is
-    /// a current-format Ralloc image.
+    /// a current-format (or in-place-migratable v3) Ralloc image.
     fn peek_reserved_len(path: &Path) -> Option<usize> {
         use std::io::Read;
         let mut buf = [0u8; 16];
         let mut f = std::fs::File::open(path).ok()?;
         f.read_exact(&mut buf).ok()?;
-        if u64::from_ne_bytes(buf[0..8].try_into().unwrap()) != MAGIC {
+        let magic = u64::from_ne_bytes(buf[0..8].try_into().unwrap());
+        if magic != MAGIC && magic != MAGIC_V3 {
             return None;
         }
         Some(u64::from_ne_bytes(buf[8..16].try_into().unwrap()) as usize)
@@ -1625,7 +1659,10 @@ impl Ralloc {
     /// file path.
     fn image_reserved_len(image: &[u8]) -> usize {
         if image.len() >= 16
-            && u64::from_ne_bytes(image[0..8].try_into().unwrap()) == MAGIC
+            && matches!(
+                u64::from_ne_bytes(image[0..8].try_into().unwrap()),
+                MAGIC | MAGIC_V3
+            )
         {
             let reserved = u64::from_ne_bytes(image[8..16].try_into().unwrap()) as usize;
             assert!(
@@ -1655,6 +1692,7 @@ impl Ralloc {
         let geo = Geometry::from_pool_len(pool.len());
         // A fresh frontier must at least cover metadata + descriptors.
         pool.commit_to(geo.min_committed());
+        flight::init_ring(&pool);
         // SAFETY: fresh pool, exclusive access, metadata offsets in bounds.
         unsafe {
             pool.write_u64(MAGIC_OFF, MAGIC);
@@ -1664,14 +1702,41 @@ impl Ralloc {
             pool.write_u64(COMMITTED_LEN_OFF, pool.committed_len() as u64);
             pool.write_u64(DIRTY_OFF, 1);
         }
-        let heap = Self::build(pool, geo, cfg, file);
+        let heap = Self::build(pool, geo, cfg, file, FlightScan::default());
         heap.inner.persist(0, 64);
+        heap.inner.persist(FLIGHT_OFF, FLIGHT_HDR_SIZE);
+        heap.inner.flight_record(EventKind::Open, 0, 0);
         heap
     }
 
     fn adopt(pool: PmemPool, cfg: &RallocConfig, file: Option<PathBuf>) -> (Ralloc, bool) {
         // SAFETY: header reads within bounds.
-        let magic = unsafe { pool.read_u64(MAGIC_OFF) };
+        let mut magic = unsafe { pool.read_u64(MAGIC_OFF) };
+        if magic == MAGIC_V3 {
+            // v3 → v4 in-place migration: the only format change is the
+            // flight ring, carved from metadata tail slack a v3 image
+            // never wrote (geometry is identical). Clean images migrate;
+            // dirty ones are refused — recovery must run under the build
+            // that wrote the image before upgrading its format.
+            // SAFETY: metadata word in bounds.
+            let v3_dirty = unsafe { pool.read_u64(DIRTY_OFF) } == 1;
+            assert!(
+                !v3_dirty,
+                "ralloc image has metadata-format version 3 and is dirty: recover \
+                 it under a v3 build before upgrading (the v3→v4 flight-ring \
+                 migration applies only to cleanly closed heaps)"
+            );
+            // Ring first, magic last, each fenced: a crash mid-migration
+            // leaves a clean v3 image that simply re-migrates next open.
+            flight::init_ring(&pool);
+            pool.flush(FLIGHT_OFF, FLIGHT_HDR_SIZE);
+            pool.fence();
+            // SAFETY: header word.
+            unsafe { pool.write_u64(MAGIC_OFF, MAGIC) };
+            pool.flush(MAGIC_OFF, 8);
+            pool.fence();
+            magic = MAGIC;
+        }
         if magic != MAGIC {
             // A recognizable Ralloc image with a different format version
             // must be refused, not silently re-initialized: erasing a
@@ -1728,7 +1793,11 @@ impl Ralloc {
         }
         // SAFETY: 8-aligned metadata word.
         let dirty = unsafe { pool.atomic_u64(DIRTY_OFF) }.load(Ordering::Acquire) == 1;
-        let heap = Self::build(pool, geo, cfg, file);
+        // Scan the flight ring *before* this process records anything:
+        // what's in it now is the previous run's last steps — after a
+        // crash, the victim's pre-crash timeline.
+        let preopen = flight::scan_pool(&pool);
+        let heap = Self::build(pool, geo, cfg, file, preopen);
         if healed {
             heap.inner.persist(COMMITTED_LEN_OFF, 8);
         }
@@ -1748,10 +1817,17 @@ impl Ralloc {
         if !dirty {
             heap.inner.fold_stale_shards();
         }
+        heap.inner.flight_record(EventKind::Open, dirty as u64, 0);
         (heap, dirty)
     }
 
-    fn build(pool: PmemPool, geo: Geometry, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
+    fn build(
+        pool: PmemPool,
+        geo: Geometry,
+        cfg: &RallocConfig,
+        file: Option<PathBuf>,
+        preopen_flight: FlightScan,
+    ) -> Ralloc {
         // Everything inside the pool's committed prefix is durable at
         // build time (fresh: about to be persisted before first use;
         // adopted: backed by the file), so carving may use all of it.
@@ -1759,6 +1835,24 @@ impl Ralloc {
         let telemetry = Registry::new();
         let slow = SlowStats::registered(&telemetry);
         let journal_cap = shard::env_size("RALLOC_JOURNAL_CAP").unwrap_or(DEFAULT_JOURNAL_CAP);
+        // Flight recorder: transient heaps persist nothing, so theirs is
+        // forced off; otherwise env overrides config (shrink-policy
+        // pattern). The torn count from the adoption scan becomes a
+        // counter so harnesses can assert on dropped records.
+        let flight_level = if cfg.transient {
+            FlightLevel::Off
+        } else {
+            std::env::var("RALLOC_FLIGHT")
+                .ok()
+                .and_then(|v| FlightLevel::parse(&v))
+                .unwrap_or(cfg.flight_level)
+        };
+        let flight = FlightRecorder::new(flight_level, preopen_flight.resume_ticket());
+        telemetry.describe(
+            "flight_torn_records",
+            "flight-ring records dropped at adoption because their checksum failed",
+        );
+        telemetry.counter("flight_torn_records").add(preopen_flight.torn);
         let heap = Ralloc {
             inner: Arc::new(HeapInner {
                 pool,
@@ -1782,6 +1876,8 @@ impl Ralloc {
                 slow,
                 telemetry,
                 journal: Journal::with_capacity(journal_cap),
+                flight,
+                preopen_flight,
                 sampler: Mutex::new(None),
             }),
         };
@@ -1907,6 +2003,7 @@ impl Ralloc {
         // SAFETY: root slot is in the metadata region, 8-aligned.
         unsafe { inner.pool.atomic_u64(slot) }.store(val, Ordering::Release);
         inner.persist(slot, 8);
+        inner.flight_record(EventKind::RootPublish, i as u64, val);
     }
 
     /// Untyped root load (traced conservatively unless a typed
@@ -1958,6 +2055,9 @@ impl Ralloc {
             inner.shrink_quiesced();
         }
         inner.closed.store(true, Ordering::Release);
+        // The Close record lands before the dirty-clear so the final
+        // full-pool flush below carries both.
+        inner.flight_record(EventKind::Close, 0, 0);
         // SAFETY: metadata word.
         unsafe { inner.pool.atomic_u64(DIRTY_OFF) }.store(0, Ordering::Release);
         if !inner.transient {
@@ -2058,6 +2158,25 @@ impl Ralloc {
     /// [`telemetry::EventKind`]).
     pub fn journal(&self) -> &Journal {
         &self.inner.journal
+    }
+
+    /// The level the persistent flight recorder is running at.
+    pub fn flight_level(&self) -> FlightLevel {
+        self.inner.flight.level()
+    }
+
+    /// The pool's flight timeline as it was at adoption, before this
+    /// process recorded anything — after a crash, the victim's last
+    /// protocol steps. Empty for freshly created heaps.
+    pub fn preopen_flight(&self) -> &FlightScan {
+        &self.inner.preopen_flight
+    }
+
+    /// Scan the pool's flight ring right now (this run's records plus
+    /// whatever of the previous run's the ring still holds). Safe under
+    /// concurrency: a racing writer costs at worst a torn slot.
+    pub fn flight_timeline(&self) -> FlightScan {
+        flight::scan_pool(&self.inner.pool)
     }
 
     /// One JSON object capturing the full telemetry state: the heap and

@@ -28,8 +28,15 @@ use crate::size_class::SB_SIZE;
 /// misread. v1: single partial-list head per class. v2: `MAX_SHARDS`
 /// head slots per class. v3: reserve/commit capacity model — the header
 /// records the *reserved* span in `POOL_LEN_OFF` and the persisted
-/// committed frontier in `COMMITTED_LEN_OFF` (this build).
-pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_03;
+/// committed frontier in `COMMITTED_LEN_OFF`. v4: persistent flight
+/// recorder carved from the metadata region's tail slack (this build).
+pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_04;
+
+/// The immediately-prior layout version. v3's metadata fields are all at
+/// the same offsets as v4's and the flight-ring slack was unused (and
+/// zeroed at init), so a *clean* v3 image migrates in place: initialize
+/// the ring header, rewrite the magic. Dirty v3 images still refuse.
+pub const MAGIC_V3: u64 = 0x52_41_4C_4C_4F_43_00_03;
 
 /// Descriptor stride in bytes (one cache line, paper §4.2).
 pub const DESC_SIZE: usize = 64;
@@ -81,6 +88,33 @@ pub const PARTIAL_HEADS_OFF: usize = ROOTS_OFF + NUM_ROOTS * 8;
 pub const META_SIZE: usize = 16 * 1024;
 
 const _: () = assert!(PARTIAL_HEADS_OFF + 40 * MAX_SHARDS * 8 <= META_SIZE);
+
+// ---- persistent flight-recorder ring (v4) ----
+//
+// The partial-list heads end at byte 13376, leaving 3008 bytes of
+// metadata-region tail slack that every prior version zeroed and never
+// touched. v4 carves the flight ring out of that slack, so the region
+// geometry (and therefore every descriptor/superblock offset) is
+// *identical* to v3 — which is what makes the clean-image migration a
+// two-word rewrite instead of a region relocation.
+
+/// Byte offset of the flight-ring header (64-byte aligned).
+pub const FLIGHT_OFF: usize = PARTIAL_HEADS_OFF + 40 * MAX_SHARDS * 8;
+/// Ring header size: magic + capacity + reserved words, one cache line.
+pub const FLIGHT_HDR_SIZE: usize = 64;
+/// Byte offset of flight record slot 0.
+pub const FLIGHT_RECORDS_OFF: usize = FLIGHT_OFF + FLIGHT_HDR_SIZE;
+/// One flight record: seq + checksum framing and a (kind, tid, t_ms, a, b)
+/// payload. Two records per cache line; a slot never straddles lines.
+pub const FLIGHT_REC_SIZE: usize = 32;
+/// Ring capacity in records — everything that fits in the slack.
+pub const FLIGHT_CAP: usize = (META_SIZE - FLIGHT_RECORDS_OFF) / FLIGHT_REC_SIZE;
+/// Ring-header magic ("FLTREC" + version), at `FLIGHT_OFF`.
+pub const FLIGHT_MAGIC: u64 = 0x46_4C_54_52_45_43_00_01;
+
+const _: () = assert!(FLIGHT_OFF.is_multiple_of(64));
+const _: () = assert!(FLIGHT_RECORDS_OFF + FLIGHT_CAP * FLIGHT_REC_SIZE <= META_SIZE);
+const _: () = assert!(FLIGHT_CAP >= 64, "flight ring uselessly small");
 
 /// Derived region offsets for a pool of a given length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +296,21 @@ mod tests {
         }
         assert_eq!(g.committed_sb(usize::MAX), g.max_sb, "clamped to capacity");
         assert!(g.committed_len_for_sb(g.max_sb) <= g.pool_len, "full commit fits the pool");
+    }
+
+    #[test]
+    fn flight_ring_fits_the_metadata_slack() {
+        // The ring must start exactly where the partial heads end, stay
+        // inside the metadata region, and keep slots cache-line interior.
+        assert_eq!(FLIGHT_OFF, PARTIAL_HEADS_OFF + 40 * MAX_SHARDS * 8);
+        assert_eq!(FLIGHT_OFF % 64, 0);
+        assert_eq!(64 % FLIGHT_REC_SIZE, 0, "slots must tile cache lines");
+        // (Ring-fits-the-slack and v3-slack-unused are compile-time
+        // `const _` asserts next to the constants themselves.)
+        // Versions differ only in the low byte of the magic.
+        assert_eq!(MAGIC & !0xFF, MAGIC_V3 & !0xFF);
+        assert_eq!(MAGIC & 0xFF, 4);
+        assert_eq!(MAGIC_V3 & 0xFF, 3);
     }
 
     #[test]

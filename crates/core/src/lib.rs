@@ -45,6 +45,7 @@
 pub mod anchor;
 pub mod checker;
 pub mod descriptor;
+pub mod flight;
 pub mod gc;
 pub mod heap;
 pub mod layout;
@@ -54,6 +55,7 @@ pub mod shard;
 pub mod size_class;
 mod tcache;
 
+pub use flight::{FlightEvent, FlightLevel, FlightScan};
 pub use gc::{Trace, TraceFn, Tracer};
 pub use heap::{Ralloc, RallocConfig, ShrinkPolicy, SlowStats};
 pub use checker::{check_heap, CheckReport, Violation};
@@ -415,6 +417,40 @@ mod tests {
         heap.close().unwrap();
         let mut image = heap.pool().persistent_image();
         image[0] = 1; // little-endian low byte of MAGIC = layout version
+        let _ = Ralloc::from_image(&image, RallocConfig::default());
+    }
+
+    #[test]
+    fn v3_clean_image_migrates_in_place_to_v4() {
+        let heap = small_heap();
+        let p = heap.malloc(64);
+        unsafe { std::ptr::write(p as *mut u64, 0xFEED) };
+        heap.set_root::<u64>(0, p as *const u64);
+        heap.close().unwrap();
+        let mut image = heap.pool().persistent_image();
+        // Fabricate the v3 on-disk format: identical geometry, version
+        // byte 3, flight slack never written.
+        image[0] = 3;
+        image[layout::FLIGHT_OFF..layout::META_SIZE].fill(0);
+
+        let (heap2, dirty) = Ralloc::from_image(&image, RallocConfig::default());
+        assert!(!dirty, "clean v3 images migrate without recovery");
+        let q = heap2.get_root::<u64>(0);
+        assert_eq!(unsafe { *q }, 0xFEED, "migration must not disturb heap data");
+        // The migrated heap has a live flight ring and persists as v4.
+        #[cfg(not(feature = "telemetry-off"))]
+        assert_eq!(heap2.flight_timeline().events.first().unwrap().kind_name(), "open");
+        assert_eq!(heap2.pool().persistent_image()[0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "version 3 and is dirty")]
+    fn v3_dirty_image_is_refused_not_migrated() {
+        let heap = small_heap();
+        let _ = heap.malloc(64);
+        let mut image = heap.pool().persistent_image(); // no close(): dirty
+        image[0] = 3;
+        image[layout::FLIGHT_OFF..layout::META_SIZE].fill(0);
         let _ = Ralloc::from_image(&image, RallocConfig::default());
     }
 

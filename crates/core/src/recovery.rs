@@ -159,6 +159,7 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
         ShardedPartial::new(class, inner.shards()).reset_all(pool, geo);
     }
     inner.journal.record(EventKind::RecoveryReconcile, used as u64, threads as u64);
+    inner.flight_record(EventKind::RecoveryReconcile, used as u64, threads as u64);
 
     // Gather the registered roots (step 4 already happened via get_root).
     let mut roots: Vec<(usize, Option<TraceFn>)> = Vec::new();
@@ -287,7 +288,13 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
         }
     }
     inner.journal.record(EventKind::RecoverySweep, stats.reachable_blocks, used as u64);
+    inner.flight_record(EventKind::RecoverySweep, stats.reachable_blocks, used as u64);
     inner.journal.record(
+        EventKind::RecoverySplice,
+        stats.partial_superblocks as u64,
+        stats.free_superblocks as u64,
+    );
+    inner.flight_record(
         EventKind::RecoverySplice,
         stats.partial_superblocks as u64,
         stats.free_superblocks as u64,

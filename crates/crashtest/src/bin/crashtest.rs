@@ -3,16 +3,25 @@
 //! ```text
 //! crashtest sweep --structure queue|stack|kv|nmtree|rbtree|churn|all \
 //!                 --rounds N [--seed S] [--dir PATH] [--threads T] [--ops N]
-//! crashtest run   --structure S --pool PATH [--seed S] [--threads T] [--ops N] \
-//!                 (--events N | --time-us N | --no-kill)
-//! crashtest hold  --pool PATH --millis N
+//! crashtest run    --structure S --pool PATH [--seed S] [--threads T] [--ops N] \
+//!                  (--events N | --time-us N | --no-kill)
+//! crashtest victim --structure S --pool PATH [--seed S] [--threads T] [--ops N] \
+//!                  (--events N | --no-kill)
+//! crashtest hold   --pool PATH --millis N
 //! ```
 //!
 //! `sweep` is the workhorse: for each round it derives a kill point from
 //! the seed (even rounds by persistence-event count, odd by wall-clock),
 //! forks a victim, kills it, recovers, and runs the oracles. Any failure
 //! prints the seed (`RALLOC_CRASH_SEED=<seed>` re-runs it exactly) plus
-//! the recovered heap's telemetry journal, and exits non-zero.
+//! the victim's persistent flight timeline scanned from the pool, and
+//! exits non-zero.
+//!
+//! `victim` turns *this* process into the workload child: it runs the
+//! structure's workload against `--pool` and, with `--events N`,
+//! SIGKILLs itself at the N-th persistence event — leaving a genuinely
+//! dirty pool file behind for `rinspect` and the forensics tests. No
+//! verification runs and the pool is never cleaned up.
 //!
 //! `hold` opens a pool with the advisory lock and sits on it — the
 //! second process of the two-process `flock` regression test.
@@ -74,13 +83,14 @@ fn die(msg: &str) -> ! {
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
-        die("missing subcommand (sweep | run | hold)");
+        die("missing subcommand (sweep | run | victim | hold)");
     }
     let cmd = argv.remove(0);
     let mut args = Args(argv);
     match cmd.as_str() {
         "sweep" => sweep(&mut args),
         "run" => run(&mut args),
+        "victim" => victim(&mut args),
         "hold" => hold(&mut args),
         other => die(&format!("unknown subcommand {other}")),
     }
@@ -222,6 +232,44 @@ fn run(args: &mut Args) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Become the workload victim: no fork, no verify, no cleanup. With
+/// `--events N` the process SIGKILLs itself mid-workload, leaving the
+/// pool dirty on disk — the raw material for post-mortem forensics.
+fn victim(args: &mut Args) -> ! {
+    let structure = match structures_arg(args).as_slice() {
+        [s] => *s,
+        _ => die("victim needs exactly one --structure"),
+    };
+    let pool = args
+        .opt("--pool")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| die("victim needs --pool"));
+    let seed = args
+        .opt("--seed")
+        .map(|v| parse_u64(&v).unwrap_or_else(|| die("bad --seed")))
+        .unwrap_or_else(seed_from_env);
+    let mut cfg = RunConfig::new(structure, pool, seed);
+    if let Some(t) = args.opt("--threads").and_then(|v| v.parse().ok()) {
+        cfg.threads = t;
+    }
+    if let Some(n) = args.opt("--ops").and_then(|v| v.parse().ok()) {
+        cfg.ops_per_thread = n;
+    }
+    cfg.kill = if let Some(n) = args.opt("--events") {
+        KillSpec::Events(parse_u64(&n).unwrap_or_else(|| die("bad --events")))
+    } else if args.flag("--no-kill") {
+        KillSpec::None
+    } else {
+        die("victim needs --events N or --no-kill")
+    };
+    args.finish();
+    let _ = std::fs::remove_file(&cfg.pool);
+    let mut marker = cfg.pool.as_os_str().to_owned();
+    marker.push(".ready");
+    let _ = std::fs::remove_file(PathBuf::from(marker));
+    crashtest::child_exec(&cfg)
 }
 
 fn hold(args: &mut Args) -> ExitCode {

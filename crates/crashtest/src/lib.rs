@@ -208,13 +208,18 @@ pub fn verify(cfg: &RunConfig, killed: bool) -> Result<RunReport, String> {
     if dirty {
         heap.recover();
     }
+    // Failure reports attach the *victim's* last protocol steps — the
+    // persistent flight timeline scanned from the pool at reopen, before
+    // this process recorded anything. (The volatile journal here belongs
+    // to the recovering process and says nothing about the crash.)
     let fail = |msg: String| -> String {
         format!(
-            "{msg}\nstructure={} seed={:#x} kill={}\n--- telemetry journal ---\n{}",
+            "{msg}\nstructure={} seed={:#x} kill={}\n--- victim flight timeline \
+             (pre-crash, from the pool) ---\n{}",
             cfg.structure.name(),
             cfg.seed,
             cfg.kill,
-            heap.journal().to_json()
+            heap.preopen_flight().to_json()
         )
     };
     let chk = ralloc::checker::check_heap(&heap);

@@ -107,6 +107,28 @@ impl PoolGuard {
         Ok(PoolGuard { file, path: path.to_path_buf() })
     }
 
+    /// Open `path` read-only under a *shared* advisory lock
+    /// (`flock(LOCK_SH)`) — the inspector's open path. Any number of
+    /// readers coexist, but a pool mapped live by a writer (which holds
+    /// `LOCK_EX`) yields [`io::ErrorKind::WouldBlock`]; the caller can
+    /// then degrade to an unlocked racy snapshot read. While the shared
+    /// lock is held, no writer can acquire the pool — a dead pool under
+    /// inspection stays dead.
+    pub fn acquire_shared(path: &Path) -> io::Result<PoolGuard> {
+        let file = fs::OpenOptions::new().read(true).open(path)?;
+        sys::flock(raw_fd(&file), sys::LOCK_SH | sys::LOCK_NB).map_err(|e| {
+            if e.kind() == io::ErrorKind::WouldBlock {
+                io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    format!("pool live: {} is exclusively locked by a writer", path.display()),
+                )
+            } else {
+                e
+            }
+        })?;
+        Ok(PoolGuard { file, path: path.to_path_buf() })
+    }
+
     /// The locked file.
     pub fn file(&self) -> &fs::File {
         &self.file
@@ -1131,6 +1153,29 @@ mod tests {
         pool.fence(); // must not resurrect the dropped pending line
         pool.crash();
         assert_eq!(read_byte(&pool, 4096), 0);
+    }
+
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    #[test]
+    fn shared_guard_coexists_with_readers_but_not_writers() {
+        let dir = std::env::temp_dir().join(format!("nvm-shguard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool");
+        std::fs::write(&path, b"x").unwrap();
+        // Two shared readers coexist.
+        let r1 = PoolGuard::acquire_shared(&path).expect("first shared lock");
+        let _r2 = PoolGuard::acquire_shared(&path).expect("second shared lock");
+        // A writer is excluded while any reader holds the pool.
+        let err = PoolGuard::acquire(&path).expect_err("writer must be excluded");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(r1);
+        drop(_r2);
+        // And a live writer excludes shared readers.
+        let w = PoolGuard::acquire(&path).expect("writer after readers left");
+        let err = PoolGuard::acquire_shared(&path).expect_err("reader vs live writer");
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        drop(w);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! `rinspect` — read-only forensics on a Ralloc pool file.
+//!
+//! ```text
+//! rinspect dump     <pool>          raw header + geometry (corruption-tolerant)
+//! rinspect stats    <pool>          per-class occupancy + fragmentation
+//! rinspect timeline <pool> [--json] the persistent flight recorder's events
+//! rinspect check    <pool>          recover a copy (if dirty) + invariant check
+//! ```
+//!
+//! Exit codes: 0 ok/consistent, 1 violations found, 2 usage or I/O or
+//! refused-image error. The pool file is never written; live pools are
+//! snapshotted racily (see the library docs).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rinspect <dump|stats|timeline|check> <pool-file> [--json]\n\
+         \n\
+         Read-only inspection of a Ralloc pool file (live or post-mortem).\n\
+         dump      raw header and geometry; works on corrupt images\n\
+         stats     per-size-class occupancy and fragmentation histograms\n\
+         timeline  the crash-surviving flight-recorder events (--json for machines)\n\
+         check     adopt a private copy, recover if dirty, run the invariant checker"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = match argv.iter().position(|a| a == "--json") {
+        Some(i) => {
+            argv.remove(i);
+            true
+        }
+        None => false,
+    };
+    let mut args = argv.into_iter();
+    let Some(cmd) = args.next() else { return usage() };
+    let Some(path) = args.next().map(PathBuf::from) else { return usage() };
+    if args.next().is_some() {
+        return usage();
+    }
+
+    let snap = match rinspect::snapshot(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rinspect: cannot snapshot {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    if snap.live {
+        eprintln!(
+            "rinspect: {} has a live writer (exclusive lock held); \
+             reading an unlocked racy snapshot",
+            path.display()
+        );
+    }
+
+    match cmd.as_str() {
+        "dump" => {
+            print!("{}", rinspect::dump(&snap.image));
+            ExitCode::SUCCESS
+        }
+        "stats" => match rinspect::stats(&snap.image) {
+            Ok(st) => {
+                print!("{}", st.to_text());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rinspect: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "timeline" => {
+            let scan = rinspect::timeline(&snap.image);
+            if json {
+                println!("{}", scan.to_json());
+            } else if scan.events.is_empty() && scan.torn == 0 {
+                println!("(flight ring empty or absent)");
+            } else {
+                print!("{}", scan.to_text());
+            }
+            ExitCode::SUCCESS
+        }
+        "check" => match rinspect::check(&snap.image) {
+            Ok(out) => {
+                let r = &out.report;
+                println!(
+                    "recovered: {}   superblocks: {}   free blocks: {}   free list: {}   \
+                     partial lists: {}",
+                    out.recovered,
+                    r.superblocks,
+                    r.free_blocks,
+                    r.free_list_len,
+                    r.partial_list_len
+                );
+                if r.is_consistent() {
+                    println!("consistent: every structural invariant holds");
+                    ExitCode::SUCCESS
+                } else {
+                    println!("{} violation(s):", r.violations.len());
+                    for v in &r.violations {
+                        println!("  [{}] {}", v.rule, v.detail);
+                    }
+                    ExitCode::from(1)
+                }
+            }
+            Err(e) => {
+                eprintln!("rinspect: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -69,13 +69,24 @@ fn prom_name(scope: &str, name: &str) -> String {
     out
 }
 
-/// Prometheus text exposition format (`# TYPE` lines, `_bucket{le=...}` /
-/// `_sum` / `_count` series for histograms with cumulative `le` edges).
+/// Help text as exposed: registered via [`Registry::describe`], with a
+/// generated `<scope> <name>` fallback so every series carries a line.
+fn prom_help(scope: &str, name: &str, reg: &Registry) -> String {
+    match reg.help_for(name) {
+        Some(h) => h.replace('\\', "\\\\").replace('\n', "\\n"),
+        None => format!("{scope} {}", name.replace('_', " ")),
+    }
+}
+
+/// Prometheus text exposition format (`# HELP`/`# TYPE` lines,
+/// `_bucket{le=...}` / `_sum` / `_count` series for histograms with
+/// cumulative `le` edges).
 pub fn to_prometheus(scopes: &[(&str, &Registry)]) -> String {
     let mut s = String::new();
     for (scope, reg) in scopes {
         for (name, metric) in reg.entries() {
             let full = prom_name(scope, name);
+            s.push_str(&format!("# HELP {full} {}\n", prom_help(scope, name, reg)));
             match metric {
                 Metric::Counter(c) => {
                     s.push_str(&format!("# TYPE {full} counter\n{full} {}\n", c.get()));
@@ -152,6 +163,9 @@ mod tests {
         let reg = sample_registry();
         let dump = to_prometheus(&[("heap", &reg)]);
         assert!(dump.contains("# TYPE heap_fills counter\nheap_fills 42\n"));
+        // Every series gets a HELP line, with a generated fallback text.
+        assert!(dump.contains("# HELP heap_fills heap fills\n"));
+        assert!(dump.contains("# HELP heap_malloc_ns heap malloc ns\n"));
         assert!(dump.contains("# TYPE heap_committed_len gauge\nheap_committed_len 1048576\n"));
         assert!(dump.contains("# TYPE heap_malloc_ns histogram\n"));
         assert!(dump.contains("heap_malloc_ns_bucket{le=\"+Inf\"} 5\n"));
@@ -171,5 +185,18 @@ mod tests {
     #[test]
     fn prometheus_sanitizes_names() {
         assert_eq!(prom_name("heap-0", "fill.rate"), "heap_0_fill_rate");
+    }
+
+    #[test]
+    fn prometheus_uses_registered_help_text() {
+        let reg = Registry::new();
+        reg.counter("fills").add(1);
+        reg.describe("fills", "cache bin fills since heap open");
+        let dump = to_prometheus(&[("heap", &reg)]);
+        assert!(dump.contains("# HELP heap_fills cache bin fills since heap open\n"));
+        // HELP precedes TYPE precedes the sample, per exposition format.
+        let help = dump.find("# HELP heap_fills").unwrap();
+        let ty = dump.find("# TYPE heap_fills").unwrap();
+        assert!(help < ty);
     }
 }

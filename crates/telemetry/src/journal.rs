@@ -52,10 +52,20 @@ pub enum EventKind {
     /// Superblocks carved from the frontier (a = first carved index,
     /// b = count).
     Carve = 11,
+    /// A persistent root was published (a = root index, b = stored
+    /// offset word; 0 = cleared).
+    RootPublish = 12,
+    /// A process attached to the heap (a = dirty flag at adoption).
+    Open = 13,
+    /// Clean close: dirty flag cleared and the pool synced.
+    Close = 14,
 }
 
 impl EventKind {
-    fn from_u8(v: u8) -> Option<EventKind> {
+    /// Decode a persisted kind byte; `None` for unknown values (future
+    /// versions, torn records). Public because the persistent flight
+    /// recorder shares this schema with the volatile journal.
+    pub fn from_u8(v: u8) -> Option<EventKind> {
         Some(match v {
             1 => EventKind::GrowCommit,
             2 => EventKind::GrowPublish,
@@ -68,6 +78,9 @@ impl EventKind {
             9 => EventKind::Flush,
             10 => EventKind::Steal,
             11 => EventKind::Carve,
+            12 => EventKind::RootPublish,
+            13 => EventKind::Open,
+            14 => EventKind::Close,
             _ => return None,
         })
     }
@@ -86,6 +99,9 @@ impl EventKind {
             EventKind::Flush => "flush",
             EventKind::Steal => "steal",
             EventKind::Carve => "carve",
+            EventKind::RootPublish => "root_publish",
+            EventKind::Open => "open",
+            EventKind::Close => "close",
         }
     }
 }

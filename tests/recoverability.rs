@@ -478,3 +478,92 @@ mod random_crash_proptests {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Persistent flight recorder: the crash-surviving event ring must
+// reopen cleanly with torn tails dropped (and counted) and wraparound
+// keeping exactly the newest window — the post-mortem timeline a
+// failing crashtest round attaches is built from this scan.
+mod flight_ring {
+    use super::*;
+    use ralloc::layout::{FLIGHT_CAP, FLIGHT_RECORDS_OFF, FLIGHT_REC_SIZE};
+
+    #[test]
+    fn torn_tail_record_is_dropped_and_counted_on_reopen() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let p = heap.malloc(64);
+        heap.set_root::<u64>(0, p as *const u64);
+        heap.close().unwrap();
+        let mut image = heap.pool().persistent_image();
+        drop(heap);
+        // Corrupt one payload byte of the newest record — exactly what a
+        // kill between a slot's payload stores and its seq+crc publish
+        // leaves behind (the publish word still covers the old payload).
+        let scan = ralloc::flight::scan_image(&image);
+        assert_eq!(scan.torn, 0);
+        let newest = *scan.events.last().expect("protocol events were recorded");
+        let slot = (newest.seq as usize - 1) % FLIGHT_CAP;
+        image[FLIGHT_RECORDS_OFF + slot * FLIGHT_REC_SIZE + 16] ^= 0xA5;
+
+        let (heap2, dirty) = Ralloc::from_image(&image, RallocConfig::default());
+        assert!(!dirty);
+        let pre = heap2.preopen_flight();
+        assert_eq!(pre.torn, 1, "the torn record must be counted");
+        assert!(
+            pre.events.iter().all(|e| e.seq != newest.seq),
+            "the torn record must be dropped, not decoded as history"
+        );
+        assert_eq!(
+            heap2.telemetry().counter_value("flight_torn_records"),
+            Some(1),
+            "the adoption scan publishes its torn count as a metric"
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_window_across_reopen() {
+        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let p = heap.malloc(64);
+        // Root publishes are protocol events: enough of them laps the ring.
+        for _ in 0..FLIGHT_CAP + 40 {
+            heap.set_root::<u64>(1, p as *const u64);
+        }
+        heap.close().unwrap();
+        let image = heap.pool().persistent_image();
+        drop(heap);
+
+        let (heap2, _) = Ralloc::from_image(&image, RallocConfig::default());
+        let pre = heap2.preopen_flight();
+        assert_eq!(pre.torn, 0);
+        assert_eq!(pre.events.len(), FLIGHT_CAP, "ring retains exactly its capacity");
+        assert!(
+            pre.events.windows(2).all(|w| w[1].seq == w[0].seq + 1),
+            "survivors are the contiguous newest window"
+        );
+        assert_eq!(pre.events.last().unwrap().kind_name(), "close");
+        // New records keep extending the same monotonic sequence.
+        heap2.set_root::<u64>(1, std::ptr::null());
+        let now = heap2.flight_timeline();
+        assert!(now.events.last().unwrap().seq > pre.events.last().unwrap().seq);
+    }
+
+    #[test]
+    fn cooperative_crash_leaves_the_ring_scannable() {
+        let (heap, inj) = tracked_with_injector();
+        let stack = PStack::create(&heap, 0);
+        let crashed = run_until_crash(&inj, 60, || {
+            for i in 0..40 {
+                stack.push(i);
+            }
+        });
+        assert!(crashed);
+        drop(stack);
+        heap.crash_simulated();
+        heap.recover();
+        let scan = heap.flight_timeline();
+        // Recovery's phases were recorded, and the scan decodes without
+        // fabricating events (torn slots are counted, never decoded).
+        assert!(scan.events.iter().any(|e| e.kind_name() == "recovery_splice"));
+        assert!(scan.events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}
