@@ -12,8 +12,18 @@
 //! sweep with different `partial_shards` configs — no env tricks, no
 //! rebuilds — and reports pair throughput plus the observed steal rate.
 //!
+//! A second shape, `prodcon`, splits allocation from deallocation:
+//! producer threads malloc and hand blocks over a bounded channel,
+//! consumer threads free them — every free is **remote** (the freeing
+//! thread never owns the block's superblock), the shape the remote-free
+//! rings (`ralloc::remote`) exist for. It runs ring-on and ring-off on
+//! otherwise identical heaps and reports anchor CASes per remote free
+//! from the allocator's own counters; on a single-CPU host wall-clock
+//! barely moves, so the CAS collapse is the measured effect and the
+//! bench hard-asserts the ≥10× reduction.
+//!
 //! Emits `BENCH_contend.json` at the workspace root:
-//! `{threads, shards, mops, steal_rate}` per point. Set
+//! `{shape, threads, shards, mops, ...}` per point. Set
 //! `MICRO_CONTEND_WINDOW_MS` to change the per-point window (default
 //! 300 ms; noisy below ~150 ms). `host_cores` is recorded because
 //! oversubscribed single-core hosts compress the shard effect: with one
@@ -99,6 +109,53 @@ fn churn_throughput(
     total as f64 / window.as_secs_f64() / 1e6
 }
 
+/// Run `pairs` producer/consumer couples for `window`; returns freed
+/// blocks/s in Mops. Producers allocate and push through a bounded
+/// channel (backpressure keeps the in-flight set small); consumers free
+/// blocks they never allocated, so the entire free stream is remote.
+fn prodcon_throughput(heap: &Ralloc, pairs: usize, window: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(2 * pairs + 1));
+    let total: u64 = std::thread::scope(|s| {
+        let mut consumers = Vec::new();
+        for _ in 0..pairs {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(256);
+            let heap_p = heap.clone();
+            let stop = stop.clone();
+            let b = barrier.clone();
+            s.spawn(move || {
+                b.wait();
+                'produce: while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let p = heap_p.malloc(BLOCK);
+                        assert!(!p.is_null(), "bench pool exhausted");
+                        if tx.send(p as usize).is_err() {
+                            heap_p.free(p);
+                            break 'produce;
+                        }
+                    }
+                }
+            });
+            let heap_c = heap.clone();
+            let b = barrier.clone();
+            consumers.push(s.spawn(move || {
+                b.wait();
+                let mut freed = 0u64;
+                for p in rx {
+                    heap_c.free(p as *mut u8);
+                    freed += 1;
+                }
+                freed
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        consumers.into_iter().map(|h| h.join().expect("prodcon consumer")).sum()
+    });
+    total as f64 / window.as_secs_f64() / 1e6
+}
+
 fn main() {
     let window = Duration::from_millis(
         std::env::var("MICRO_CONTEND_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(300),
@@ -133,11 +190,56 @@ fn main() {
                 lat.p999()
             );
             entries.push(format!(
-                "    {{\"threads\": {threads}, \"shards\": {shards}, \"mops\": {mops:.3}, \
-                 \"steal_rate\": {steal:.4}, \"op_latency_ns\": {}}}",
+                "    {{\"shape\": \"churn\", \"threads\": {threads}, \"shards\": {shards}, \
+                 \"mops\": {mops:.3}, \"steal_rate\": {steal:.4}, \"op_latency_ns\": {}}}",
                 lat.to_json()
             ));
         }
+    }
+    // Producer/consumer split: 100 % remote frees. The acceptance metric
+    // is anchor CASes per remote free, ring-off vs ring-on — counters,
+    // not wall-clock, because a single-CPU host serializes the threads
+    // and hides the cache-line transfer the rings eliminate.
+    for &pairs in &[1usize, 4] {
+        let mut cas_per_free = [0.0f64; 2]; // [ring-off, ring-on]
+        for ring in [false, true] {
+            let heap =
+                Ralloc::create(512 << 20, RallocConfig { remote_ring: ring, ..Default::default() });
+            assert_eq!(heap.remote_rings_enabled(), ring, "RALLOC_REMOTE_RING override set?");
+            let _ = prodcon_throughput(&heap, pairs, window / 4); // warmup
+            let stats = heap.slow_stats();
+            let blocks0 = stats.remote_free_blocks.load(Ordering::Relaxed);
+            let cas0 = stats.remote_anchor_cas.load(Ordering::Relaxed);
+            let mops = prodcon_throughput(&heap, pairs, window);
+            let blocks = stats.remote_free_blocks.load(Ordering::Relaxed) - blocks0;
+            let cas = stats.remote_anchor_cas.load(Ordering::Relaxed) - cas0;
+            assert!(blocks > 0, "prodcon produced no remote frees");
+            let ratio = cas as f64 / blocks as f64;
+            cas_per_free[ring as usize] = ratio;
+            println!(
+                "prodcon x{pairs} pairs ring={}: {mops:.3} Mops/s \
+                 ({cas} anchor CASes / {blocks} remote frees = {ratio:.5})",
+                if ring { "on" } else { "off" }
+            );
+            entries.push(format!(
+                "    {{\"shape\": \"prodcon\", \"pairs\": {pairs}, \"threads\": {}, \
+                 \"shards\": {}, \"ring\": {ring}, \"mops\": {mops:.3}, \
+                 \"remote_free_blocks\": {blocks}, \"remote_anchor_cas\": {cas}, \
+                 \"remote_cas_per_free\": {ratio:.6}}}",
+                2 * pairs,
+                heap.partial_shards()
+            ));
+        }
+        let [off, on] = cas_per_free;
+        assert!(
+            on * 10.0 <= off,
+            "remote rings must cut anchor CASes per remote free >=10x at {pairs} pairs: \
+             off {off:.6} vs on {on:.6}"
+        );
+        println!(
+            "prodcon x{pairs} pairs: ring-off/ring-on CAS ratio = {:.1}x",
+            if on == 0.0 { f64::INFINITY } else { off / on }
+        );
     }
     let json = format!(
         "{{\n  \"bench\": \"micro_contend\",\n  \"unit\": \"Mops/s malloc+free pairs, 14336 B (slow-path-heavy churn)\",\n  \"meta\": {},\n  \"results\": [\n{}\n  ]\n}}\n",

@@ -25,7 +25,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use nvm::{CrashInjector, FlushModel, Mode, PmemPool, PoolGuard};
-use telemetry::{Counter, EventKind, Journal, Registry, SamplerHandle};
+use telemetry::{Counter, EventKind, Histogram, Journal, Registry, SamplerHandle};
 
 use crate::anchor::{Anchor, SbState};
 use crate::descriptor::{Desc, DescKind};
@@ -36,6 +36,7 @@ use crate::layout::{
     MAGIC_V3, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
 };
 use crate::lists::DescList;
+use crate::remote::{RemoteBatch, RemoteRing};
 use crate::shard::{self, ShardedPartial};
 use crate::size_class::{
     cache_capacity, class_block_size, class_max_count, is_small_class, size_class_of,
@@ -201,6 +202,21 @@ pub struct RallocConfig {
     /// [`FlightLevel::Off`] on transient heaps (nothing persists there
     /// by definition). Env override: `RALLOC_FLIGHT=off|proto|all`.
     pub flight_level: FlightLevel,
+    /// Per-(class, shard) bounded MPSC remote-free rings (see
+    /// [`crate::remote`]): a flush routes superblock groups the freeing
+    /// thread does not own onto the owning shard's ring with a wait-free
+    /// zero-CAS push; the owner drains them into its cache bins during
+    /// fills. Rings are volatile — a crash loses only in-flight remote
+    /// frees, which recovery's reachability sweep reclaims. Inert when
+    /// the heap runs a single shard (every free is then local). Env
+    /// override: `RALLOC_REMOTE_RING=on|off`.
+    pub remote_ring: bool,
+    /// Slots per remote-free ring (one superblock-coherent batch each;
+    /// rounded up to a power of two and clamped to `2..=4096`). A full
+    /// ring displaces its oldest batch back onto the direct grouped-CAS
+    /// path, so capacity trades producer-side CAS savings against DRAM.
+    /// Env override: `RALLOC_REMOTE_RING_CAP`.
+    pub remote_ring_cap: usize,
 }
 
 impl Default for RallocConfig {
@@ -217,9 +233,17 @@ impl Default for RallocConfig {
             growth_factor: 2.0,
             shrink_policy: ShrinkPolicy::Both,
             flight_level: FlightLevel::Proto,
+            remote_ring: true,
+            remote_ring_cap: DEFAULT_REMOTE_RING_CAP,
         }
     }
 }
+
+/// Default remote-free ring capacity (slots per (class, shard) ring;
+/// each slot parks one superblock-coherent batch). 64 batches absorb a
+/// deep producer/consumer bleed burst while keeping the slot array at
+/// 512 bytes per ring.
+pub const DEFAULT_REMOTE_RING_CAP: usize = 64;
 
 /// Default shard count: enough to spread the slow paths of a typical
 /// thread pool without bloating the probe ring for single-thread runs.
@@ -317,6 +341,29 @@ pub struct SlowStats {
     /// Bin overflows resolved by the flush-half policy (0 unless
     /// [`RallocConfig::flush_half`] is set).
     pub half_flushes: Counter,
+    /// Blocks a flush classified as *remote* (superblock owned by a shard
+    /// other than the freeing thread's home). Counted in both ring modes,
+    /// so `remote_anchor_cas / remote_free_blocks` is the comparable
+    /// remote-free CAS cost.
+    pub remote_free_blocks: Counter,
+    /// Anchor CASes spent returning remote groups: every remote group
+    /// with rings off; only ring-overflow displacements and teardown
+    /// drains with rings on.
+    pub remote_anchor_cas: Counter,
+    /// Batches pushed onto remote-free rings (wait-free producer side).
+    pub remote_ring_pushes: Counter,
+    /// Blocks carried by those pushes.
+    pub remote_ring_push_blocks: Counter,
+    /// Batches claimed by fill-side ring drains (owner + steal drains).
+    pub remote_ring_drain_batches: Counter,
+    /// Blocks those drains moved straight into cache bins (zero CAS).
+    pub remote_ring_drain_blocks: Counter,
+    /// Ring pushes that lapped an undrained slot, displacing its batch
+    /// back onto the direct grouped-CAS fallback (also flight-recorded,
+    /// so `rinspect timeline` shows a pool running degraded).
+    pub remote_ring_overflows: Counter,
+    /// Blocks-per-drain distribution of fill-side ring drains.
+    pub remote_drain_batch: Histogram,
 }
 
 impl SlowStats {
@@ -347,6 +394,14 @@ impl SlowStats {
             partial_steals: reg.counter("partial_steals"),
             partial_shard_pushes: reg.counter("partial_shard_pushes"),
             half_flushes: reg.counter("half_flushes"),
+            remote_free_blocks: reg.counter("remote_free_blocks"),
+            remote_anchor_cas: reg.counter("remote_anchor_cas"),
+            remote_ring_pushes: reg.counter("remote_ring_pushes"),
+            remote_ring_push_blocks: reg.counter("remote_ring_push_blocks"),
+            remote_ring_drain_batches: reg.counter("remote_ring_drain_batches"),
+            remote_ring_drain_blocks: reg.counter("remote_ring_drain_blocks"),
+            remote_ring_overflows: reg.counter("remote_ring_overflows"),
+            remote_drain_batch: reg.histogram("remote_drain_batch_blocks"),
         }
     }
 
@@ -400,6 +455,18 @@ pub struct HeapInner {
     /// Transient like the thread caches they came from: discarded on
     /// crash, flushed on clean close.
     parked: [Mutex<Vec<CacheBin>>; NUM_CLASSES],
+    /// Bounded MPSC remote-free rings, indexed `[class][shard]` (flat,
+    /// `class * shards + shard`). `None` when disabled by config/env or
+    /// when the heap runs a single shard (every free is local then).
+    /// Volatile by design — see [`crate::remote`]: drained to the heap at
+    /// clean close and explicit shrink, discarded by crash simulation
+    /// and recovery (the reachability sweep reclaims their blocks).
+    rings: Option<Box<[RemoteRing]>>,
+    /// Rotating start shard for the pre-carve ring steal-drain. Without
+    /// rotation a fixed scan order starves the highest-indexed rings —
+    /// early-stopping drains keep skimming the first pending ring and
+    /// the rest sit full, displacing every subsequent push.
+    ring_cursor: AtomicU64,
     /// The frontier (bytes) that is both committed in the pool *and*
     /// whose metadata word has been flushed and fenced. Carving reads
     /// this, never the raw pool frontier: a grow publishes here only
@@ -947,6 +1014,17 @@ impl HeapInner {
         bin.ensure_capacity(cache_capacity(class) as usize);
         let partial = self.partial(class);
         let home = self.home_shard();
+        // Owner drain (remote-free rings): batches other threads freed
+        // into our home shard's ring move straight into the bin — zero
+        // anchor CAS per block, the consumer half of the wait-free
+        // remote-free protocol — before any shared-list CAS is attempted.
+        if self.rings.is_some() && self.drain_remote(class, home, bin, home) {
+            self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+            self.slow.cache_fill_blocks.fetch_add(bin.len() as u64, Ordering::Relaxed);
+            self.journal.record(EventKind::Fill, bin.len() as u64, class as u64);
+            self.flight_record(EventKind::Fill, bin.len() as u64, class as u64);
+            return true;
+        }
         let free = DescList::free_list(&self.geo);
         let bsize = class_block_size(class) as usize;
         let mc = class_max_count(class);
@@ -1093,10 +1171,28 @@ impl HeapInner {
                         self.slow.free_recheck_hits.fetch_add(1, Ordering::Relaxed);
                         i
                     }
-                    None => match self.carve(1) {
-                        Some(i) => i,
-                        None => return false, // out of persistent space
-                    },
+                    None => {
+                        // Last stop before carving fresh space:
+                        // steal-drain every shard's remote ring for this
+                        // class. In asymmetric workloads (prodcon: some
+                        // threads only allocate, others only free) the
+                        // owning shards may never fill again, so without
+                        // this sweep their ringed blocks would strand
+                        // while the frontier grew without bound.
+                        if self.rings.is_some() && self.steal_drain_rings(class, bin, home) {
+                            self.slow.cache_fills.fetch_add(1, Ordering::Relaxed);
+                            self.slow
+                                .cache_fill_blocks
+                                .fetch_add(bin.len() as u64, Ordering::Relaxed);
+                            self.journal.record(EventKind::Fill, bin.len() as u64, class as u64);
+                            self.flight_record(EventKind::Fill, bin.len() as u64, class as u64);
+                            return true;
+                        }
+                        match self.carve(1) {
+                            Some(i) => i,
+                            None => return false, // out of persistent space
+                        }
+                    }
                 },
             };
             let d = Desc::new(&self.pool, &self.geo, idx);
@@ -1262,26 +1358,155 @@ impl HeapInner {
         }
     }
 
+    /// The remote-free ring of `(class, shard)`. Callers must have
+    /// checked `self.rings.is_some()`.
+    #[inline]
+    fn ring(&self, class: u32, shard: u32) -> &RemoteRing {
+        let rings = self.rings.as_ref().expect("remote rings disabled");
+        &rings[class as usize * self.shards as usize + shard as usize]
+    }
+
+    /// Whether the remote-free rings are active for this heap.
+    #[inline]
+    pub(crate) fn remote_rings_enabled(&self) -> bool {
+        self.rings.is_some()
+    }
+
+    /// Producer side of the remote-free protocol: park one
+    /// superblock-coherent group on the owning shard's ring (wait-free,
+    /// zero CAS). A displaced batch — the ring lapped an undrained slot —
+    /// becomes ours and is returned through the direct grouped-CAS path,
+    /// so overflow degrades to the pre-ring protocol instead of losing
+    /// blocks; the event is journaled and flight-recorded (proto level)
+    /// so a post-mortem timeline shows the pool was running degraded.
+    fn remote_push(&self, sb: usize, owner: u32, blocks: &[usize], home: u32) {
+        let class = Desc::new(&self.pool, &self.geo, sb as u32).size_class();
+        debug_assert!(is_small_class(class));
+        self.slow.remote_ring_pushes.fetch_add(1, Ordering::Relaxed);
+        self.slow.remote_ring_push_blocks.fetch_add(blocks.len() as u64, Ordering::Relaxed);
+        let batch = Box::new(RemoteBatch { sb: sb as u32, blocks: blocks.to_vec() });
+        if let Some(displaced) = self.ring(class, owner).push(batch) {
+            self.slow.remote_ring_overflows.fetch_add(1, Ordering::Relaxed);
+            self.slow.remote_anchor_cas.fetch_add(1, Ordering::Relaxed);
+            let n = displaced.blocks.len() as u64;
+            self.journal.record(EventKind::RemoteRingOverflow, displaced.sb as u64, n);
+            self.flight_record(EventKind::RemoteRingOverflow, displaced.sb as u64, n);
+            self.push_batch(displaced.sb as usize, &displaced.blocks, home);
+        }
+    }
+
+    /// Consumer side: drain the `(class, shard)` ring into `bin` (zero
+    /// anchor CAS per block), stopping the sweep once the bin is full —
+    /// unclaimed batches stay parked for the next fill, so a small bin
+    /// never forces a claimed batch back through the anchor. Only a
+    /// claimed batch that *straddles* the bin's remaining room pays the
+    /// one-CAS direct return for its overhang. Returns true when the bin
+    /// received at least one block.
+    fn drain_remote(&self, class: u32, shard: u32, bin: &mut CacheBin, home: u32) -> bool {
+        let ring = self.ring(class, shard);
+        if !ring.maybe_pending() {
+            return false;
+        }
+        let mut taken = 0u64;
+        let mut batches = 0u64;
+        ring.drain(|batch| {
+            batches += 1;
+            let room = bin.capacity() - bin.len() as usize;
+            let take = batch.blocks.len().min(room);
+            for &addr in &batch.blocks[..take] {
+                bin.push(addr);
+            }
+            taken += take as u64;
+            if take < batch.blocks.len() {
+                self.slow.remote_anchor_cas.fetch_add(1, Ordering::Relaxed);
+                self.push_batch(batch.sb as usize, &batch.blocks[take..], home);
+            }
+            (bin.len() as usize) < bin.capacity()
+        });
+        if batches > 0 {
+            self.slow.remote_ring_drain_batches.fetch_add(batches, Ordering::Relaxed);
+            self.slow.remote_ring_drain_blocks.fetch_add(taken, Ordering::Relaxed);
+            self.slow.remote_drain_batch.observe(taken);
+        }
+        taken > 0
+    }
+
+    /// Drain shards' rings of `class` into `bin` (the pre-carve steal
+    /// sweep), starting from a rotating shard so early-stopping drains
+    /// skim every ring fairly instead of starving the back of the scan
+    /// order. Returns true when the bin received any block.
+    fn steal_drain_rings(&self, class: u32, bin: &mut CacheBin, home: u32) -> bool {
+        let start = (self.ring_cursor.fetch_add(1, Ordering::Relaxed) % self.shards as u64) as u32;
+        let mut got = false;
+        for i in 0..self.shards {
+            got |= self.drain_remote(class, (start + i) % self.shards, bin, home);
+            if bin.len() as usize == bin.capacity() {
+                break;
+            }
+        }
+        got
+    }
+
+    /// Return every ring-parked batch to its superblock (quiescent
+    /// points: clean close and explicit shrink — cached blocks must land
+    /// where the frontier scan and the persisted image can see them).
+    pub(crate) fn drain_rings_to_heap(&self) {
+        let Some(rings) = &self.rings else { return };
+        let home = self.home_shard();
+        for ring in rings.iter() {
+            ring.drain(|batch| {
+                self.slow.remote_anchor_cas.fetch_add(1, Ordering::Relaxed);
+                self.push_batch(batch.sb as usize, &batch.blocks, home);
+                true
+            });
+        }
+    }
+
+    /// Forget every ring-parked batch without flushing (crash simulation
+    /// and recovery): rings are volatile by design — in-flight remote
+    /// frees die with DRAM and the recovery sweep reclaims their blocks
+    /// by reachability, exactly like discarded cache bins.
+    pub(crate) fn discard_rings(&self) {
+        let Some(rings) = &self.rings else { return };
+        for ring in rings.iter() {
+            ring.drain(|batch| {
+                drop(batch);
+                true
+            });
+        }
+    }
+
     /// Return an arbitrary batch of blocks, grouping them by superblock
-    /// so each touched superblock costs exactly one anchor CAS (LRMalloc's
-    /// Flush). Reorders `blocks` in place while partitioning.
+    /// (LRMalloc's Flush). Reorders `blocks` in place while partitioning.
+    ///
+    /// Each group is classified by its superblock's owning shard
+    /// (`sb % S` — the shard recovery enlists it on): **local** groups
+    /// (owner == this thread's home shard, or rings disabled) pay the
+    /// classic one anchor CAS via [`HeapInner::push_batch`]; **remote**
+    /// groups ride the owning shard's MPSC ring instead — a wait-free
+    /// zero-CAS push, reclaimed in bulk by the owner's next fill.
     ///
     /// The partition starts with the in-place, allocation-free linear
     /// scan — bins overwhelmingly hold blocks of one or two superblocks,
     /// so it normally finishes in a pass or two. Only when the batch
-    /// turns out to span *many* superblocks (heavy producer/consumer
-    /// bleed, where the scan would degrade to O(n·superblocks)) does the
+    /// turns out to span *many* directly-pushed superblocks does the
     /// remainder escalate to a small open-addressing group table,
     /// bounding the whole partition at O(n)
-    /// ([`SlowStats::flush_partition_probes`] observes the table's work).
+    /// ([`SlowStats::flush_partition_probes`] observes the table's
+    /// work). With rings on, the heavy producer/consumer bleed that used
+    /// to force the escalation is absorbed by ring pushes — remote
+    /// groups do not count toward the escalation threshold — so the
+    /// table is effectively demoted to the ring-off/fallback path.
     pub(crate) fn flush_blocks(&self, blocks: &mut [usize]) {
-        /// Distinct superblocks the linear scan handles before the rest
-        /// of the batch escalates to the table: the scan's worst case is
-        /// then `MAX_LINEAR_GROUPS`·n, and typical bins never escalate.
+        /// Distinct directly-pushed superblocks the linear scan handles
+        /// before the rest of the batch escalates to the table: the
+        /// scan's worst case is then `MAX_LINEAR_GROUPS`·n, and typical
+        /// bins never escalate.
         const MAX_LINEAR_GROUPS: usize = 8;
         let base = self.pool.base() as usize;
         // One TLS lookup + hash for the whole batch, not per superblock.
         let home = self.home_shard();
+        let rings = self.rings.is_some();
         let mut i = 0;
         let mut groups = 0;
         while i < blocks.len() {
@@ -1300,6 +1525,16 @@ impl HeapInner {
                     blocks.swap(end, j);
                     end += 1;
                 }
+            }
+            let owner = shard::place_superblock(sb, self.shards);
+            if owner != home {
+                self.slow.remote_free_blocks.fetch_add((end - i) as u64, Ordering::Relaxed);
+                if rings {
+                    self.remote_push(sb, owner, &blocks[i..end], home);
+                    i = end;
+                    continue;
+                }
+                self.slow.remote_anchor_cas.fetch_add(1, Ordering::Relaxed);
             }
             self.push_batch(sb, &blocks[i..end], home);
             i = end;
@@ -1348,6 +1583,7 @@ impl HeapInner {
             }
         }
         self.slow.flush_partition_probes.fetch_add(probes, Ordering::Relaxed);
+        let rings = self.rings.is_some();
         let mut scratch: Vec<usize> = Vec::with_capacity(n);
         for &(sb, head) in &groups {
             scratch.clear();
@@ -1359,6 +1595,17 @@ impl HeapInner {
             // Chains are built newest-first; restore batch order so the
             // pre-linked free chain matches the linear partition's.
             scratch.reverse();
+            // Same owner routing as the linear scan: remote groups in an
+            // escalated batch still ride the rings.
+            let owner = shard::place_superblock(sb, self.shards);
+            if owner != home {
+                self.slow.remote_free_blocks.fetch_add(scratch.len() as u64, Ordering::Relaxed);
+                if rings {
+                    self.remote_push(sb, owner, &scratch, home);
+                    continue;
+                }
+                self.slow.remote_anchor_cas.fetch_add(1, Ordering::Relaxed);
+            }
             self.push_batch(sb, &scratch, home);
         }
     }
@@ -1853,13 +2100,23 @@ impl Ralloc {
             "flight-ring records dropped at adoption because their checksum failed",
         );
         telemetry.counter("flight_torn_records").add(preopen_flight.torn);
+        let shards = shard::effective_shards(cfg.partial_shards);
+        // Remote-free rings (transient, like the caches they feed).
+        // A single-shard heap owns every superblock from every thread's
+        // perspective, so rings would never see a push — skip them.
+        let remote_ring = shard::env_flag("RALLOC_REMOTE_RING").unwrap_or(cfg.remote_ring);
+        let ring_cap =
+            shard::env_size("RALLOC_REMOTE_RING_CAP").unwrap_or(cfg.remote_ring_cap).clamp(2, 4096);
+        let rings = (remote_ring && shards > 1).then(|| {
+            (0..NUM_CLASSES * shards as usize).map(|_| RemoteRing::new(ring_cap)).collect()
+        });
         let heap = Ralloc {
             inner: Arc::new(HeapInner {
                 pool,
                 geo,
                 id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
                 transient: cfg.transient,
-                shards: shard::effective_shards(cfg.partial_shards),
+                shards,
                 flush_half: shard::env_flag("RALLOC_FLUSH_HALF").unwrap_or(cfg.flush_half),
                 growth_factor: cfg.growth_factor.clamp(1.0, 8.0),
                 shrink_policy: std::env::var("RALLOC_SHRINK")
@@ -1867,6 +2124,8 @@ impl Ralloc {
                     .and_then(|v| ShrinkPolicy::parse(&v))
                     .unwrap_or(cfg.shrink_policy),
                 parked: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                rings,
+                ring_cursor: AtomicU64::new(0),
                 committed_safe,
                 generation: AtomicU64::new(0),
                 exit_drains: AtomicUsize::new(0),
@@ -2048,6 +2307,9 @@ impl Ralloc {
         // write-back rather than during.
         inner.await_exit_drains();
         inner.flush_parked();
+        // Remote-free rings are DRAM too: every in-flight batch lands on
+        // its superblock before the scan and write-back.
+        inner.drain_rings_to_heap();
         // Quiescent point: release the trailing fully-free run while the
         // heap is still marked dirty, so a crash mid-shrink triggers a
         // full rebuild rather than trusting half-shrunk lists.
@@ -2089,6 +2351,9 @@ impl Ralloc {
     pub fn shrink(&self) -> usize {
         self.inner.await_exit_drains();
         self.inner.flush_parked();
+        // Ring-parked batches keep their superblocks non-EMPTY; return
+        // them first so the trailing free run is as long as it can be.
+        self.inner.drain_rings_to_heap();
         self.inner.shrink_quiesced()
     }
 
@@ -2102,8 +2367,10 @@ impl Ralloc {
         inner.generation.fetch_add(1, Ordering::AcqRel);
         inner.closed.store(false, Ordering::Release);
         tcache::discard_current_thread(inner);
-        // Parked bins are DRAM state, forgotten like the TLS caches.
+        // Parked bins and remote-free rings are DRAM state, forgotten
+        // like the TLS caches; the recovery sweep reclaims their blocks.
         inner.discard_parked();
+        inner.discard_rings();
     }
 
     /// Was the heap dirty at open time / is recovery pending? (The dirty
@@ -2137,6 +2404,30 @@ impl Ralloc {
     /// The underlying pool (benchmarks read its flush statistics).
     pub fn pool(&self) -> &PmemPool {
         &self.inner.pool
+    }
+
+    /// Whether the remote-free rings are active (config/env on **and**
+    /// more than one shard; a single-shard heap owns everything, so
+    /// every free is local and rings are skipped).
+    pub fn remote_rings_enabled(&self) -> bool {
+        self.inner.remote_rings_enabled()
+    }
+
+    /// The calling thread's home shard (tests and benches use it to
+    /// construct guaranteed-remote frees).
+    pub fn current_home_shard(&self) -> u32 {
+        self.inner.home_shard()
+    }
+
+    /// The owning shard of the superblock containing `ptr` (`sb % S`) —
+    /// the shard whose ring a remote free of `ptr` would ride.
+    pub fn owner_shard_of(&self, ptr: *const u8) -> u32 {
+        let inner = &*self.inner;
+        let off = (ptr as usize)
+            .checked_sub(inner.pool.base() as usize)
+            .expect("owner_shard_of: pointer below heap");
+        let sb = inner.geo.sb_index_of(off).expect("owner_shard_of: pointer outside superblocks");
+        shard::place_superblock(sb, inner.shards)
     }
 
     /// Slow-path event counters.
@@ -2318,6 +2609,15 @@ mod batch_tests {
 
     use super::*;
 
+    /// Ring-off config: these tests pin down the *direct* anchor-CAS
+    /// protocol (now the ring-off/fallback path). With rings on, whether
+    /// a flushed group takes a CAS or a ring push depends on the test
+    /// thread's token hash vs. the superblock's owner — nondeterministic
+    /// across runs. The ring path has its own tests below.
+    fn direct() -> RallocConfig {
+        RallocConfig { remote_ring: false, ..Default::default() }
+    }
+
     fn stats_of(heap: &Ralloc) -> (u64, u64, u64, u64, u64, u64) {
         let s = heap.slow_stats();
         (
@@ -2353,7 +2653,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn partial_fill_batches_with_exactly_one_cas_zero_flushes() {
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         // Drain one whole superblock through the bin, keeping ownership.
         let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
@@ -2386,7 +2686,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn bin_overflow_flushes_whole_bin_one_cas_per_superblock() {
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         let cap = cache_capacity(8) as usize;
         let ptrs: Vec<usize> = (0..2 * mc).map(|_| heap.malloc(64) as usize).collect();
@@ -2418,7 +2718,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn mixed_superblock_flush_one_cas_per_group() {
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         // Two superblocks' worth so the bin can hold a mixture.
         let ptrs: Vec<usize> = (0..mc + 4).map(|_| heap.malloc(64) as usize).collect();
@@ -2441,7 +2741,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn scavenge_reuses_empty_superblock_stranded_on_partial_list() {
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
         // Park the superblock EMPTY on the 64 B class's partial list:
@@ -2497,7 +2797,7 @@ mod batch_tests {
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn sharded_fill_counters_account_home_and_steals() {
         // Single-threaded: every partial pop is a home hit, never a steal.
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
         let mut batch: Vec<usize> = ptrs[..10].to_vec();
@@ -2601,7 +2901,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn grouped_flush_partition_is_linear_in_batch_size() {
-        let heap = Ralloc::create(32 << 20, RallocConfig::default());
+        let heap = Ralloc::create(32 << 20, direct());
         let mc = class_max_count(8) as usize;
         // Blocks from many superblocks: allocate `sbs` whole superblocks
         // worth and take a couple of blocks from each, interleaved — the
@@ -2697,7 +2997,7 @@ mod batch_tests {
     #[test]
     #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
     fn batched_return_transitions_full_to_empty_and_retires() {
-        let heap = Ralloc::create(8 << 20, RallocConfig::default());
+        let heap = Ralloc::create(8 << 20, direct());
         let mc = class_max_count(8) as usize;
         let ptrs: Vec<usize> = (0..mc).map(|_| heap.malloc(64) as usize).collect();
         let off = ptrs[0] - heap.pool().base() as usize;
@@ -2716,5 +3016,220 @@ mod batch_tests {
             vec![sb as u32],
             "fully-freed FULL superblock must retire to the free list"
         );
+    }
+}
+
+#[cfg(test)]
+mod remote_ring_tests {
+    //! The remote-free ring contract: a flushed group whose superblock
+    //! belongs to another shard rides that shard's MPSC ring for zero
+    //! producer-side anchor CASes, the owner reclaims it in bulk during
+    //! fill, overflow degrades to the direct grouped-CAS protocol, and
+    //! teardown paths drain the rings so nothing is stranded.
+
+    use super::*;
+
+    /// Pop `n` whole superblock populations of the 64 B class (class 8)
+    /// through the thread cache. Fills move whole fresh superblocks into
+    /// the bin in carve order, so chunk `i` is exactly the population of
+    /// the `i`-th carved superblock and the bin ends empty.
+    fn alloc_superblocks(heap: &Ralloc, n: usize) -> Vec<Vec<usize>> {
+        let mc = class_max_count(8) as usize;
+        let ptrs: Vec<usize> = (0..n * mc).map(|_| heap.malloc(64) as usize).collect();
+        assert!(ptrs.iter().all(|&p| p != 0), "allocation failed mid-setup");
+        ptrs.chunks(mc).map(|c| c.to_vec()).collect()
+    }
+
+    fn owner_of(heap: &Ralloc, chunk: &[usize]) -> u32 {
+        heap.owner_shard_of(chunk[0] as *const u8)
+    }
+
+    #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+    fn remote_group_flush_takes_zero_anchor_cas() {
+        let heap = Ralloc::create(16 << 20, RallocConfig::default());
+        if !heap.remote_rings_enabled() {
+            eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+            return;
+        }
+        let home = heap.current_home_shard();
+        let sbs = alloc_superblocks(&heap, heap.partial_shards() as usize + 1);
+        let remote = sbs
+            .iter()
+            .find(|c| owner_of(&heap, c) != home)
+            .expect("S > 1 guarantees a foreign-owned superblock");
+        let s = heap.slow_stats();
+        let flush_cas0 = s.flush_anchor_cas.load(Ordering::Relaxed);
+        let mut batch: Vec<usize> = remote[..10].to_vec();
+        heap.inner.flush_blocks(&mut batch);
+        assert_eq!(
+            s.flush_anchor_cas.load(Ordering::Relaxed),
+            flush_cas0,
+            "a remote group must not touch its anchor on the producer side"
+        );
+        assert_eq!(s.remote_anchor_cas.load(Ordering::Relaxed), 0);
+        assert_eq!(s.remote_ring_pushes.load(Ordering::Relaxed), 1, "one group, one ring push");
+        assert_eq!(s.remote_ring_push_blocks.load(Ordering::Relaxed), 10);
+        assert_eq!(s.remote_free_blocks.load(Ordering::Relaxed), 10);
+        assert_eq!(s.remote_ring_overflows.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+    fn owner_drain_reclaims_ring_batches_without_cas() {
+        let heap = Ralloc::create(16 << 20, RallocConfig::default());
+        if !heap.remote_rings_enabled() {
+            eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+            return;
+        }
+        let home = heap.current_home_shard();
+        let sbs = alloc_superblocks(&heap, heap.partial_shards() as usize + 1);
+        let remote = sbs
+            .iter()
+            .find(|c| owner_of(&heap, c) != home)
+            .expect("S > 1 guarantees a foreign-owned superblock");
+        let owner = owner_of(&heap, remote);
+        // Three disjoint groups onto the owner's ring, 16 blocks each.
+        for g in 0..3 {
+            let mut batch: Vec<usize> = remote[16 * g..16 * (g + 1)].to_vec();
+            heap.inner.flush_blocks(&mut batch);
+        }
+        let s = heap.slow_stats();
+        let fill_cas0 = s.fill_anchor_cas.load(Ordering::Relaxed);
+        let flush_cas0 = s.flush_anchor_cas.load(Ordering::Relaxed);
+        let mut bin = CacheBin::new();
+        bin.ensure_capacity(cache_capacity(8) as usize);
+        assert!(heap.inner.drain_remote(8, owner, &mut bin, home));
+        assert_eq!(bin.len(), 48, "the drain must take every ring-parked block");
+        assert_eq!(
+            s.fill_anchor_cas.load(Ordering::Relaxed),
+            fill_cas0,
+            "a ring drain refills the bin with zero anchor CASes"
+        );
+        assert_eq!(s.flush_anchor_cas.load(Ordering::Relaxed), flush_cas0);
+        assert_eq!(s.remote_ring_drain_batches.load(Ordering::Relaxed), 3);
+        assert_eq!(s.remote_ring_drain_blocks.load(Ordering::Relaxed), 48);
+        let h = s.remote_drain_batch.snapshot();
+        assert_eq!(h.count, 1, "one drain call, one batch-size sample");
+        assert_eq!(h.sum, 48);
+        // Hand the blocks back so the heap stays consistent.
+        heap.inner.flush_blocks(bin.blocks_mut());
+        bin.clear();
+    }
+
+    #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+    fn ring_overflow_degrades_to_direct_cas_and_loses_nothing() {
+        let heap = Ralloc::create(
+            64 << 20,
+            RallocConfig { remote_ring_cap: 2, ..Default::default() },
+        );
+        if !heap.remote_rings_enabled() {
+            eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+            return;
+        }
+        let mc = class_max_count(8) as usize;
+        let home = heap.current_home_shard();
+        let shards = heap.partial_shards() as usize;
+        // Owners repeat every S superblocks, so 3S chunks give at least
+        // three populations per foreign owner.
+        let sbs = alloc_superblocks(&heap, 3 * shards);
+        let target = owner_of(&heap, &sbs[0]).wrapping_add(1) % heap.partial_shards();
+        let target = if target == home { (target + 1) % heap.partial_shards() } else { target };
+        let victims: Vec<&Vec<usize>> =
+            sbs.iter().filter(|c| owner_of(&heap, c) == target).collect();
+        assert!(victims.len() >= 3, "expected ≥3 chunks for shard {target}");
+        let s = heap.slow_stats();
+        // Three whole-population pushes onto a capacity-2 ring: the third
+        // laps the first, which must fall back to the direct CAS path.
+        for chunk in &victims[..3] {
+            let mut batch: Vec<usize> = (*chunk).clone();
+            heap.inner.flush_blocks(&mut batch);
+        }
+        assert_eq!(s.remote_ring_overflows.load(Ordering::Relaxed), 1);
+        assert!(s.remote_anchor_cas.load(Ordering::Relaxed) >= 1);
+        assert!(
+            heap.journal()
+                .snapshot()
+                .iter()
+                .any(|e| e.kind == EventKind::RemoteRingOverflow && e.b == mc as u64),
+            "the displacement must be journaled with its block count"
+        );
+        // The overflow victim went straight to EMPTY; the two still-parked
+        // batches land when teardown drains the rings. Either way every
+        // block must be accounted for.
+        heap.inner.drain_rings_to_heap();
+        for chunk in &victims[..3] {
+            let off = chunk[0] - heap.pool().base() as usize;
+            let sb = heap.geometry().sb_index_of(off).unwrap();
+            let a = Desc::new(heap.pool(), &heap.geometry(), sb as u32).anchor(Ordering::Acquire);
+            assert_eq!(a.state, SbState::Empty, "superblock {sb} lost blocks");
+            assert_eq!(a.count as usize, mc);
+        }
+        let report = crate::checker::check_heap(&heap);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+    }
+
+    #[test]
+    #[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+    fn remote_heavy_flush_never_enters_partition_table() {
+        let heap = Ralloc::create(64 << 20, RallocConfig::default());
+        if !heap.remote_rings_enabled() {
+            eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+            return;
+        }
+        if heap.partial_shards() < 4 {
+            eprintln!("skipping: needs ≥4 shards so local groups stay under the escalation bound");
+            return;
+        }
+        let home = heap.current_home_shard();
+        let sbs = alloc_superblocks(&heap, 24);
+        let locals = sbs.iter().filter(|c| owner_of(&heap, c) == home).count() as u64;
+        // Two blocks from each of 24 superblocks, interleaved: 24 groups —
+        // triple the pre-ring escalation bound — but only the handful of
+        // local ones count toward it now.
+        let mut batch = Vec::with_capacity(48);
+        for i in 0..2 {
+            for chunk in &sbs {
+                batch.push(chunk[i]);
+            }
+        }
+        let s = heap.slow_stats();
+        let probes0 = s.flush_partition_probes.load(Ordering::Relaxed);
+        let pushes0 = s.remote_ring_pushes.load(Ordering::Relaxed);
+        heap.inner.flush_blocks(&mut batch);
+        assert_eq!(
+            s.flush_partition_probes.load(Ordering::Relaxed),
+            probes0,
+            "remote groups must not count toward grouped-flush escalation"
+        );
+        assert_eq!(s.remote_ring_pushes.load(Ordering::Relaxed) - pushes0, 24 - locals);
+    }
+
+    #[test]
+    fn shrink_drains_rings_before_releasing() {
+        let heap = Ralloc::create(16 << 20, RallocConfig::default());
+        if !heap.remote_rings_enabled() {
+            eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+            return;
+        }
+        let n = heap.partial_shards() as usize + 1;
+        let sbs = alloc_superblocks(&heap, n);
+        // Whole populations: local groups retire their superblock outright,
+        // remote groups park on rings until shrink drains them.
+        for chunk in &sbs {
+            let mut batch = chunk.clone();
+            heap.inner.flush_blocks(&mut batch);
+        }
+        #[cfg(not(feature = "telemetry-off"))]
+        assert!(heap.slow_stats().remote_ring_pushes.load(Ordering::Relaxed) > 0);
+        heap.shrink();
+        assert_eq!(
+            heap.used_superblocks(),
+            0,
+            "shrink must drain ring-parked blocks so every superblock empties"
+        );
+        let report = crate::checker::check_heap(&heap);
+        assert!(report.is_consistent(), "{:?}", report.violations);
     }
 }

@@ -51,6 +51,7 @@ pub mod heap;
 pub mod layout;
 pub mod lists;
 pub mod recovery;
+mod remote;
 pub mod shard;
 pub mod size_class;
 mod tcache;

@@ -81,12 +81,13 @@ pub fn effective_shards(requested: usize) -> u32 {
     req.clamp(1, MAX_SHARDS) as u32
 }
 
-/// Read a boolean env knob: `Some(true)` for `1`/`true`/`yes`,
-/// `Some(false)` for `0`/`false`/`no`, `None` when unset/unparsable.
+/// Read a boolean env knob: `Some(true)` for `1`/`true`/`yes`/`on`,
+/// `Some(false)` for `0`/`false`/`no`/`off`, `None` when unset or
+/// unparsable.
 pub(crate) fn env_flag(name: &str) -> Option<bool> {
     match std::env::var(name).ok()?.to_ascii_lowercase().as_str() {
-        "1" | "true" | "yes" => Some(true),
-        "0" | "false" | "no" => Some(false),
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
         _ => None,
     }
 }

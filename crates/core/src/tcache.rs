@@ -18,7 +18,11 @@
 //!   Makalu's return-half policy, §6.3). Blocks are grouped by
 //!   superblock, pre-linked into a local chain, and each group is spliced
 //!   into its anchor's free list with a single CAS — one CAS per
-//!   superblock touched, not one per block.
+//!   superblock touched, not one per block. Groups whose superblock is
+//!   owned by *another* partial-list shard don't even pay that CAS: the
+//!   flush parks them on the owning shard's remote-free ring
+//!   ([`crate::remote`]) with a wait-free push, and the owner reclaims
+//!   them in bulk during its next Fill.
 //!
 //! In between, `malloc` is an array pop and `free` an array push.
 //!

@@ -1,7 +1,7 @@
 //! CLI driver for the fork/SIGKILL crash harness.
 //!
 //! ```text
-//! crashtest sweep --structure queue|stack|kv|nmtree|rbtree|churn|all \
+//! crashtest sweep --structure queue|stack|kv|nmtree|rbtree|churn|prodcon|all \
 //!                 --rounds N [--seed S] [--dir PATH] [--threads T] [--ops N]
 //! crashtest run    --structure S --pool PATH [--seed S] [--threads T] [--ops N] \
 //!                  (--events N | --time-us N | --no-kill)

@@ -34,17 +34,23 @@ pub enum Structure {
     /// Allocator-protocol storm: large/small malloc-free churn driving
     /// frontier growth, threaded through a [`PQueue`] for the oracle.
     Churn,
+    /// Producer/consumer split: producers malloc and hand blocks over a
+    /// channel, consumers free them — 100 % remote frees, so the
+    /// remote-free rings carry in-flight batches at the moment of the
+    /// kill. Threaded through a [`PQueue`] for the oracle.
+    ProdCon,
 }
 
 impl Structure {
     /// Every structure, in sweep order.
-    pub const ALL: [Structure; 6] = [
+    pub const ALL: [Structure; 7] = [
         Structure::Queue,
         Structure::Stack,
         Structure::Kv,
         Structure::NmTree,
         Structure::RbTree,
         Structure::Churn,
+        Structure::ProdCon,
     ];
 
     /// CLI name.
@@ -56,6 +62,7 @@ impl Structure {
             Structure::NmTree => "nmtree",
             Structure::RbTree => "rbtree",
             Structure::Churn => "churn",
+            Structure::ProdCon => "prodcon",
         }
     }
 
@@ -77,7 +84,7 @@ enum Handle {
 impl Handle {
     fn create(heap: &Ralloc, s: Structure) -> Handle {
         match s {
-            Structure::Queue | Structure::Churn => {
+            Structure::Queue | Structure::Churn | Structure::ProdCon => {
                 Handle::Queue(PQueue::create(heap, STRUCT_ROOT))
             }
             Structure::Stack => Handle::Stack(PStack::create(heap, STRUCT_ROOT)),
@@ -102,8 +109,13 @@ pub fn setup(heap: &Ralloc, s: Structure, threads: usize) -> *mut OpLogDir {
 /// when every worker finished or filled its log (if the armed kill never
 /// fires).
 pub fn run(heap: &Ralloc, s: Structure, dir: *mut OpLogDir, threads: usize, seed: u64, ops: usize) {
+    if s == Structure::ProdCon {
+        return run_prodcon(heap, dir, threads, seed, ops);
+    }
     let handle = match s {
-        Structure::Queue | Structure::Churn => Handle::Queue(PQueue::attach(heap, STRUCT_ROOT).unwrap()),
+        Structure::Queue | Structure::Churn | Structure::ProdCon => {
+            Handle::Queue(PQueue::attach(heap, STRUCT_ROOT).unwrap())
+        }
         Structure::Stack => Handle::Stack(PStack::attach(heap, STRUCT_ROOT).unwrap()),
         Structure::Kv => Handle::Kv(PKv::attach(heap, STRUCT_ROOT).unwrap()),
         Structure::NmTree => Handle::NmTree(NmTree::attach(heap, STRUCT_ROOT).unwrap()),
@@ -118,6 +130,96 @@ pub fn run(heap: &Ralloc, s: Structure, dir: *mut OpLogDir, threads: usize, seed
                 let mut w = OpWriter::new(&heap, dir as *mut OpLogDir, tid);
                 let mut rng = XorShift::new(seed ^ (0x9E37 + tid as u64 * 0x1_0001));
                 worker(&heap, s, handle, tid as u64, &mut w, &mut rng, ops);
+            });
+        }
+    });
+}
+
+/// The producer/consumer storm: thread pairs (2i, 2i+1) share a bounded
+/// channel; the even thread allocates and hands blocks over, the odd
+/// thread frees them. Every handed-over block is freed by a thread that
+/// does not own its superblock, so the allocator's remote-free rings run
+/// loaded for the whole window — a SIGKILL lands with in-flight batches
+/// on them, which recovery must reclaim by reachability. An odd leftover
+/// thread churns locally so every log sees traffic.
+fn run_prodcon(heap: &Ralloc, dir: *mut OpLogDir, threads: usize, seed: u64, ops: usize) {
+    let q = PQueue::attach(heap, STRUCT_ROOT).unwrap();
+    let dir = dir as usize;
+    std::thread::scope(|sc| {
+        for pair in 0..threads / 2 {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(256);
+            let (ptid, ctid) = (2 * pair, 2 * pair + 1);
+            let (qp, heap_p) = (&q, heap.clone());
+            sc.spawn(move || {
+                let mut w = OpWriter::new(&heap_p, dir as *mut OpLogDir, ptid);
+                let mut rng = XorShift::new(seed ^ (0x9E37 + ptid as u64 * 0x1_0001));
+                let mut seq: u64 = 0;
+                for _ in 0..ops {
+                    if w.full() {
+                        break;
+                    }
+                    if rng.next_u64() % 10 < 8 {
+                        let size = 64 + (rng.next_u64() as usize % 4000);
+                        w.begin(OpKind::Churn, size as u64, 0);
+                        let p = heap_p.malloc(size);
+                        assert!(!p.is_null(), "prodcon malloc failed");
+                        // SAFETY: freshly allocated block of `size` bytes.
+                        unsafe {
+                            *p = 0xAB;
+                            *p.add(size - 1) = 0xCD;
+                        }
+                        w.ack(0);
+                        if tx.send(p as usize).is_err() {
+                            heap_p.free(p); // consumer exited: reclaim locally
+                        }
+                    } else {
+                        seq += 1;
+                        let v = ((ptid as u64) << 32) | seq;
+                        w.begin(OpKind::Enqueue, v, 0);
+                        assert!(qp.enqueue(v), "enqueue failed: heap exhausted");
+                        w.ack(0);
+                    }
+                }
+            });
+            let (qc, heap_c) = (&q, heap.clone());
+            sc.spawn(move || {
+                let mut w = OpWriter::new(&heap_c, dir as *mut OpLogDir, ctid);
+                let mut rng = XorShift::new(seed ^ (0x9E37 + ctid as u64 * 0x1_0001));
+                for p in rx {
+                    // Remote free: this thread never allocated from p's
+                    // superblock. Drain past a full log so producers
+                    // never wedge on a closed channel mid-run.
+                    heap_c.free(p as *mut u8);
+                    if !w.full() && rng.next_u64().is_multiple_of(16) {
+                        w.begin(OpKind::Dequeue, 0, 0);
+                        let res = qc.dequeue().unwrap_or(RES_NONE);
+                        w.ack(res);
+                    }
+                }
+            });
+        }
+        if threads % 2 == 1 {
+            let tid = threads - 1;
+            let heap_s = heap.clone();
+            sc.spawn(move || {
+                let mut w = OpWriter::new(&heap_s, dir as *mut OpLogDir, tid);
+                let mut rng = XorShift::new(seed ^ (0x9E37 + tid as u64 * 0x1_0001));
+                for _ in 0..ops {
+                    if w.full() {
+                        break;
+                    }
+                    let size = 64 + (rng.next_u64() as usize % 4000);
+                    w.begin(OpKind::Churn, size as u64, 0);
+                    let p = heap_s.malloc(size);
+                    assert!(!p.is_null(), "prodcon malloc failed");
+                    // SAFETY: freshly allocated block of `size` bytes.
+                    unsafe {
+                        *p = 0xAB;
+                        *p.add(size - 1) = 0xCD;
+                    }
+                    heap_s.free(p);
+                    w.ack(0);
+                }
             });
         }
     });
@@ -255,7 +357,7 @@ fn worker(
 /// conservatively and its children could be misclassified).
 pub fn register_filters(heap: &Ralloc, s: Structure) {
     match s {
-        Structure::Queue | Structure::Churn => {
+        Structure::Queue | Structure::Churn | Structure::ProdCon => {
             let _ = heap.get_root::<pds::QueueHead>(STRUCT_ROOT);
         }
         Structure::Stack => {
@@ -282,7 +384,7 @@ pub fn verify_structure(
     logs: &[Vec<oplog::LogOp>],
 ) -> Result<(), String> {
     match s {
-        Structure::Queue | Structure::Churn => {
+        Structure::Queue | Structure::Churn | Structure::ProdCon => {
             let q = PQueue::attach(heap, STRUCT_ROOT)
                 .ok_or("queue root missing after recovery")?;
             oracle::check_conservation(logs, &q.snapshot(), false)

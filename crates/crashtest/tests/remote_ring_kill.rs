@@ -1,0 +1,65 @@
+//! Kill-based proof that the remote-free rings are safely volatile: the
+//! `prodcon` workload (producers malloc, consumers free across threads —
+//! 100 % remote frees) keeps batches of in-flight frees parked on the
+//! rings, a SIGKILL drops them with DRAM, and recovery's reachability
+//! sweep must reclaim every one — visibility oracles green, no leak.
+//!
+//! Spawns the `crashtest` binary because `run_once` forks, and forking
+//! is only safe from a single-threaded process.
+
+use std::process::Command;
+
+fn harness_available() -> bool {
+    nvm::sys::available()
+}
+
+fn sweep(rounds: usize, seed: &str, env: &[(&str, &str)]) {
+    if !harness_available() {
+        eprintln!("skipping: raw syscall layer unavailable on this host");
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("ct_prodcon_{seed}"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crashtest"));
+    cmd.args([
+        "sweep",
+        "--structure",
+        "prodcon",
+        "--rounds",
+        &rounds.to_string(),
+        "--seed",
+        seed,
+        "--dir",
+        dir.to_str().unwrap(),
+    ]);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("failed to spawn crashtest binary");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "prodcon sweep failed (seed {seed}):\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("SWEEP ok"), "missing summary:\n{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn prodcon_survives_kill_sweep_with_loaded_rings() {
+    sweep(25, "0xC001", &[("RALLOC_REMOTE_RING", "on")]);
+}
+
+#[test]
+fn prodcon_survives_kill_sweep_with_tiny_rings() {
+    // A 2-slot ring overflows constantly, so kills land mid-fallback as
+    // often as mid-push: both halves of the degradation path must be
+    // crash-safe.
+    sweep(25, "0xC002", &[("RALLOC_REMOTE_RING", "on"), ("RALLOC_REMOTE_RING_CAP", "2")]);
+}
+
+#[test]
+fn prodcon_survives_kill_sweep_with_rings_off() {
+    // Control: the same workload over the direct grouped-CAS path.
+    sweep(25, "0xC003", &[("RALLOC_REMOTE_RING", "off")]);
+}

@@ -59,6 +59,11 @@ pub enum EventKind {
     Open = 13,
     /// Clean close: dirty flag cleared and the pool synced.
     Close = 14,
+    /// A remote-free ring push lapped an undrained slot, displacing its
+    /// batch onto the direct grouped-CAS fallback (a = displaced batch's
+    /// superblock, b = its block count). The heap keeps working, but the
+    /// producer side is degraded from wait-free pushes to anchor CASes.
+    RemoteRingOverflow = 15,
 }
 
 impl EventKind {
@@ -81,6 +86,7 @@ impl EventKind {
             12 => EventKind::RootPublish,
             13 => EventKind::Open,
             14 => EventKind::Close,
+            15 => EventKind::RemoteRingOverflow,
             _ => return None,
         })
     }
@@ -102,6 +108,7 @@ impl EventKind {
             EventKind::RootPublish => "root_publish",
             EventKind::Open => "open",
             EventKind::Close => "close",
+            EventKind::RemoteRingOverflow => "remote_ring_overflow",
         }
     }
 }

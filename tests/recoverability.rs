@@ -567,3 +567,55 @@ mod flight_ring {
         assert!(scan.events.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 }
+
+#[test]
+fn crashed_remote_rings_leak_nothing() {
+    // In-flight remote frees live on volatile MPSC rings (`ralloc`'s
+    // remote-free path): a crash loses whatever batches were parked
+    // there, and recovery's reachability sweep must reclaim those blocks
+    // exactly like discarded cache bins — no leak, no double accounting.
+    use std::sync::atomic::Ordering;
+
+    let (heap, _inj) = tracked_with_injector();
+    if !heap.remote_rings_enabled() {
+        eprintln!("skipping: remote rings disabled (RALLOC_REMOTE_RING/RALLOC_SHARDS?)");
+        return;
+    }
+    // A producer thread drains five whole 64 B superblock populations
+    // through its cache and exits with an empty bin, so its thread-exit
+    // drain returns nothing: every block is owned by the test body.
+    let per_sb = ralloc::SB_SIZE / 64;
+    let ptrs: Vec<usize> = std::thread::scope(|s| {
+        s.spawn(|| (0..5 * per_sb).map(|_| heap.malloc(64) as usize).collect())
+            .join()
+            .unwrap()
+    });
+    assert!(ptrs.iter().all(|&p| p != 0));
+    // The consumer (this thread) frees all of them: each whole-bin flush
+    // routes its foreign-owned groups onto the owners' remote rings.
+    for &p in &ptrs {
+        heap.free(p as *mut u8);
+    }
+    #[cfg(not(feature = "telemetry-off"))]
+    assert!(
+        heap.slow_stats().remote_ring_pushes.load(Ordering::Relaxed) > 0,
+        "setup never parked a batch on a ring"
+    );
+    let used_before = heap.used_superblocks();
+    heap.crash_simulated(); // the rings die with DRAM
+    let stats = heap.recover();
+    assert_eq!(stats.reachable_blocks, 0, "nothing was rooted");
+    // Every block — the ring-parked ones included — must be reusable:
+    // re-allocating the same volume must not grow the heap.
+    for _ in 0..5 * per_sb {
+        assert!(!heap.malloc(64).is_null());
+    }
+    assert!(
+        heap.used_superblocks() <= used_before,
+        "ring-parked blocks leaked across the crash: {} -> {}",
+        used_before,
+        heap.used_superblocks()
+    );
+    let report = ralloc::check_heap(&heap);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+}

@@ -1,0 +1,104 @@
+//! Remote-free rings under a producer/consumer split (the shape the
+//! rings exist for): producers allocate, a consumer thread frees, so
+//! every freed group belongs to a superblock the consumer does not own.
+//!
+//! Ring-off, each such group costs the consumer one anchor CAS on a
+//! cache line the owner is concurrently filling from. Ring-on, the
+//! consumer parks the group on the owner's MPSC ring with a wait-free
+//! push and the owner reclaims it during its next fill — the acceptance
+//! bar is a ≥10× collapse in anchor CASes *per remote free*, measured by
+//! counters (wall-clock is meaningless on a single-CPU host).
+
+use std::sync::atomic::Ordering;
+
+use ralloc::{Ralloc, RallocConfig};
+
+/// Run a bounded-channel producer/consumer workload and report
+/// `(remote_anchor_cas, remote_free_blocks, rings_enabled)`. Counters
+/// are read before the heap closes, so teardown ring drains (which pay
+/// the direct CAS on purpose) don't pollute the steady-state measure.
+fn prodcon(cfg: RallocConfig, producers: usize, per_producer: usize) -> (u64, u64, bool) {
+    let heap = Ralloc::create(64 << 20, cfg);
+    let enabled = heap.remote_rings_enabled();
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(256);
+        for _ in 0..producers {
+            let tx = tx.clone();
+            let heap = &heap;
+            s.spawn(move || {
+                for i in 0..per_producer {
+                    let p = heap.malloc(64);
+                    assert!(!p.is_null());
+                    // SAFETY: fresh 64-byte block.
+                    unsafe { std::ptr::write(p as *mut u64, i as u64) };
+                    tx.send(p as usize).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        for p in rx {
+            heap.free(p as *mut u8);
+        }
+    });
+    let stats = heap.slow_stats();
+    (
+        stats.remote_anchor_cas.load(Ordering::Relaxed),
+        stats.remote_free_blocks.load(Ordering::Relaxed),
+        enabled,
+    )
+}
+
+#[test]
+#[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+fn prodcon_remote_cas_collapses_with_rings() {
+    const PRODUCERS: usize = 2;
+    const PER_PRODUCER: usize = 32 * 1024;
+    let (cas_off, blocks_off, off_ringed) =
+        prodcon(RallocConfig { remote_ring: false, ..Default::default() }, PRODUCERS, PER_PRODUCER);
+    let (cas_on, blocks_on, on_ringed) =
+        prodcon(RallocConfig::default(), PRODUCERS, PER_PRODUCER);
+    if off_ringed || !on_ringed {
+        eprintln!("skipping: RALLOC_REMOTE_RING/RALLOC_SHARDS override pins both heaps to one mode");
+        return;
+    }
+    assert!(blocks_off > 0, "consumer frees must be remote");
+    assert!(blocks_on > 0, "consumer frees must be remote");
+    let off_ratio = cas_off as f64 / blocks_off as f64;
+    let on_ratio = cas_on as f64 / blocks_on as f64;
+    assert!(off_ratio > 0.0, "ring-off remote groups must pay anchor CASes");
+    assert!(
+        on_ratio * 10.0 <= off_ratio,
+        "rings must cut anchor CASes per remote free ≥10×: \
+         off {cas_off}/{blocks_off} = {off_ratio:.6}, on {cas_on}/{blocks_on} = {on_ratio:.6}"
+    );
+}
+
+#[test]
+#[cfg_attr(feature = "telemetry-off", ignore = "asserts telemetry counters, which are compiled out")]
+fn prodcon_rings_leave_a_consistent_reusable_heap() {
+    // Same shape, but the property under test is conservation: after the
+    // churn, an explicit shrink (which drains every ring) must find all
+    // blocks home again.
+    let heap = Ralloc::create(64 << 20, RallocConfig::default());
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<usize>(256);
+        for _ in 0..2 {
+            let tx = tx.clone();
+            let heap = &heap;
+            s.spawn(move || {
+                for _ in 0..8 * 1024 {
+                    let p = heap.malloc(64);
+                    assert!(!p.is_null());
+                    tx.send(p as usize).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        for p in rx {
+            heap.free(p as *mut u8);
+        }
+    });
+    heap.shrink();
+    let report = ralloc::check_heap(&heap);
+    assert!(report.is_consistent(), "{:?}", report.violations);
+}

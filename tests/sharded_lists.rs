@@ -31,6 +31,16 @@ fn sharded_cfg(shards: usize) -> RallocConfig {
     RallocConfig { partial_shards: shards, ..RallocConfig::tracked() }
 }
 
+/// Like [`sharded_cfg`] but with the remote-free rings pinned off: the
+/// steal-path tests drive blocks onto *partial lists* via cross-shard
+/// frees, which with rings on would ride the owner's ring instead (by
+/// design — `tests/remote_ring.rs` covers that path). The
+/// `RALLOC_REMOTE_RING` env knob still overrides this pin, so those
+/// tests also skip when the heap reports rings active.
+fn direct_sharded_cfg(shards: usize) -> RallocConfig {
+    RallocConfig { remote_ring: false, ..sharded_cfg(shards) }
+}
+
 /// Drive some superblocks of `heap`'s 14336 B class onto the calling
 /// thread's home shard: allocate `sbs` superblocks' worth, then free one
 /// block per superblock *plus* enough to overflow the 4-slot bin, so the
@@ -56,9 +66,13 @@ fn make_partials(heap: &Ralloc, sbs: usize) -> Vec<*mut u8> {
 
 #[test]
 fn fills_prefer_home_shard_and_steal_when_starved() {
-    let heap = Ralloc::create(32 << 20, sharded_cfg(4));
+    let heap = Ralloc::create(32 << 20, direct_sharded_cfg(4));
     if heap.partial_shards() < 2 {
         eprintln!("skipping: stealing needs >=2 shards (RALLOC_SHARDS override?)");
+        return;
+    }
+    if heap.remote_rings_enabled() {
+        eprintln!("skipping: steal path needs direct flushes (RALLOC_REMOTE_RING override?)");
         return;
     }
     let my_home = home_shard(thread_token(), heap.partial_shards());
@@ -107,9 +121,13 @@ fn fills_prefer_home_shard_and_steal_when_starved() {
 
 #[test]
 fn crash_mid_steal_loses_nothing() {
-    let heap = Ralloc::create(32 << 20, sharded_cfg(4));
+    let heap = Ralloc::create(32 << 20, direct_sharded_cfg(4));
     if heap.partial_shards() < 2 {
         eprintln!("skipping: stealing needs >=2 shards (RALLOC_SHARDS override?)");
+        return;
+    }
+    if heap.remote_rings_enabled() {
+        eprintln!("skipping: steal path needs direct flushes (RALLOC_REMOTE_RING override?)");
         return;
     }
     let my_home = home_shard(thread_token(), heap.partial_shards());
