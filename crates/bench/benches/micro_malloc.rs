@@ -117,6 +117,108 @@ fn pair_latency(alloc: &DynAlloc, threads: usize, pairs: u64) -> HistSnapshot {
     hist.snapshot()
 }
 
+/// The same 64 B pair loop as [`pair_throughput`], but over an
+/// arbitrary allocation surface: the handle API, the
+/// `#[global_allocator]` facade ([`galloc::RallocGlobal`]), or the
+/// system allocator — the apples-to-apples comparison for the drop-in
+/// surface's overhead (routing, layout translation, re-entrancy flag).
+fn surface_throughput(pair: &(impl Fn() + Sync), threads: usize, window: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let total: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let stop = stop.clone();
+                let barrier = barrier.clone();
+                s.spawn(move || {
+                    pair(); // warm this thread's cache off the clock
+                    barrier.wait();
+                    let mut ops = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        for _ in 0..512 {
+                            pair();
+                        }
+                        ops += 512;
+                    }
+                    ops
+                })
+            })
+            .collect();
+        barrier.wait();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("bench worker")).sum()
+    });
+    total as f64 / window.as_secs_f64() / 1e6
+}
+
+/// Surface sweep entries: 64 B pairs through the Ralloc handle, through
+/// `RallocGlobal`, and through the system allocator — all on the same
+/// shape, tagged `"surface"` in the JSON.
+fn surface_entries(window: Duration, entries: &mut Vec<String>) {
+    use std::alloc::{GlobalAlloc, Layout, System};
+
+    let heap = galloc::heap().expect("galloc pool");
+    let global = galloc::RallocGlobal;
+    for threads in [1usize, 4] {
+        let handle_pair = || {
+            let p = heap.malloc(64);
+            std::hint::black_box(p);
+            heap.free(p);
+        };
+        let global_pair = || {
+            // Layout is built inside the closure: at a real call site the
+            // layout is a compile-time constant, and keeping it in the
+            // closure environment would force a reload + size round-up
+            // per op that no real caller pays.
+            let layout = Layout::from_size_align(64, 8).unwrap();
+            // SAFETY: valid layout; dealloc gets alloc's result.
+            unsafe {
+                let p = global.alloc(layout);
+                std::hint::black_box(p);
+                global.dealloc(p, layout);
+            }
+        };
+        let system_pair = || {
+            let layout = Layout::from_size_align(64, 8).unwrap();
+            // SAFETY: as above.
+            unsafe {
+                let p = System.alloc(layout);
+                std::hint::black_box(p);
+                System.dealloc(p, layout);
+            }
+        };
+        // Interleave the surfaces round-robin and keep each surface's
+        // best window: interference on a shared box only ever *slows* a
+        // window, and interleaving keeps a burst from sinking one
+        // surface's whole measurement while sparing the others. Every
+        // surface gets the same warmup and the same number of windows.
+        let mut best = [0.0f64; 3];
+        let _ = surface_throughput(&handle_pair, threads, window / 4);
+        let _ = surface_throughput(&global_pair, threads, window / 4);
+        let _ = surface_throughput(&system_pair, threads, window / 4);
+        for _ in 0..6 {
+            best[0] = best[0].max(surface_throughput(&handle_pair, threads, window / 2));
+            best[1] = best[1].max(surface_throughput(&global_pair, threads, window / 2));
+            best[2] = best[2].max(surface_throughput(&system_pair, threads, window / 2));
+        }
+        let points: [(&str, &str, f64); 3] = [
+            ("galloc", "handle", best[0]),
+            ("galloc", "global", best[1]),
+            ("system", "system", best[2]),
+        ];
+        for (alloc, surface, mops) in points {
+            println!("fastpath {alloc}/{surface} x{threads}: {mops:.2} Mops/s");
+            entries.push(format!(
+                "    {{\"alloc\": \"{alloc}\", \"surface\": \"{surface}\", \
+                 \"threads\": {threads}, \"mops\": {mops:.3}}}"
+            ));
+        }
+        let ratio = points[1].2 / points[0].2;
+        println!("fastpath global/handle ratio x{threads}: {ratio:.3}");
+    }
+}
+
 fn emit_fastpath_json() {
     let window = Duration::from_millis(
         std::env::var("MICRO_MALLOC_WINDOW_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(400),
@@ -139,12 +241,13 @@ fn emit_fastpath_json() {
                 lat.p999()
             );
             entries.push(format!(
-                "    {{\"alloc\": \"{name}\", \"threads\": {threads}, \"mops\": {mops:.3}, \
-                 \"pair_latency_ns\": {}}}",
+                "    {{\"alloc\": \"{name}\", \"surface\": \"handle\", \"threads\": {threads}, \
+                 \"mops\": {mops:.3}, \"pair_latency_ns\": {}}}",
                 lat.to_json()
             ));
         }
     }
+    surface_entries(window, &mut entries);
     // Seed baseline, measured in the PR that introduced the batched
     // fast path (same machine discipline: fresh heap, warmup round,
     // 400 ms window). Kept in the JSON so the trajectory is one file.

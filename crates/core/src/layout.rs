@@ -18,6 +18,14 @@
 //! validation). **Bold** fields from the paper's Figure 2 — the only ones
 //! flushed during normal operation — are: the dirty indicator, `used`,
 //! the persistent roots, and each descriptor's size-class/block-size.
+//!
+//! Since v5 the three regions are *independently committed*: the
+//! metadata region is always fully backed, while the descriptor and
+//! superblock regions each carry their own persisted committed frontier
+//! (`DESC_COMMITTED_LEN_OFF` / `COMMITTED_LEN_OFF`) and grow/shrink
+//! through their own instances of the frontier protocol, rather than the
+//! descriptor region being committed wholesale as a side effect of the
+//! superblock frontier.
 
 use crate::size_class::SB_SIZE;
 
@@ -29,13 +37,28 @@ use crate::size_class::SB_SIZE;
 /// head slots per class. v3: reserve/commit capacity model — the header
 /// records the *reserved* span in `POOL_LEN_OFF` and the persisted
 /// committed frontier in `COMMITTED_LEN_OFF`. v4: persistent flight
-/// recorder carved from the metadata region's tail slack (this build).
-pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_04;
+/// recorder carved from the metadata region's tail slack. v5:
+/// multi-region frontiers — the descriptor region gains its own
+/// persisted committed frontier (`DESC_COMMITTED_LEN_OFF`) so descriptor
+/// and superblock space grow and shrink independently instead of the
+/// descriptor region being implicitly committed wholesale (this build).
+pub const MAGIC: u64 = 0x52_41_4C_4C_4F_43_00_05;
 
-/// The immediately-prior layout version. v3's metadata fields are all at
-/// the same offsets as v4's and the flight-ring slack was unused (and
-/// zeroed at init), so a *clean* v3 image migrates in place: initialize
-/// the ring header, rewrite the magic. Dirty v3 images still refuse.
+/// The immediately-prior layout version. v4 used the same metadata field
+/// offsets but had no descriptor frontier: the whole descriptor region
+/// was implicitly committed (`min_committed == sb_off`) and the word at
+/// `DESC_COMMITTED_LEN_OFF` was zeroed slack. A *clean* v4 image
+/// therefore migrates in place: write the descriptor frontier word with
+/// the v4 semantics (`sb_off`, everything committed), persist it, then
+/// rewrite the magic. Dirty v4 images refuse — their recovery invariants
+/// were established by a v4 build and must be replayed by one.
+pub const MAGIC_V4: u64 = 0x52_41_4C_4C_4F_43_00_04;
+
+/// Two versions back. v3's metadata fields are all at the same offsets
+/// and the flight-ring slack was unused (and zeroed at init), so a
+/// *clean* v3 image chain-migrates in place: initialize the ring header
+/// (v3→v4), then the descriptor frontier word (v4→v5), then rewrite the
+/// magic. Dirty v3 images still refuse.
 pub const MAGIC_V3: u64 = 0x52_41_4C_4C_4F_43_00_03;
 
 /// Descriptor stride in bytes (one cache line, paper §4.2).
@@ -72,6 +95,16 @@ pub const FREE_LIST_OFF: usize = 40;
 /// lies within a recovered frontier. **Bold** (persisted online), once
 /// per heap growth — growth is cold-path only; shrink is offline.
 pub const COMMITTED_LEN_OFF: usize = 48;
+/// Persisted *descriptor-region* committed frontier in bytes (u64, v5).
+/// Bounds which descriptors are backed and usable, exactly as
+/// `COMMITTED_LEN_OFF` bounds superblocks: grows online (CAS-max +
+/// flush + fence) *before* any `used` expansion that needs the new
+/// descriptors is persisted, shrinks only at quiescent points *after*
+/// the lowered `used` is durable. Always within
+/// `[desc_off, sb_off]`. **Bold** (persisted online), once per
+/// descriptor-region growth. v4 images have zeroed slack here; the
+/// clean-reopen migration writes `sb_off` (the v4 implicit semantics).
+pub const DESC_COMMITTED_LEN_OFF: usize = 56;
 /// Persistent roots: `NUM_ROOTS` u64 slots, each an offset+1 into the
 /// superblock region (0 = null). Persisted on `set_root`.
 pub const ROOTS_OFF: usize = 64;
@@ -161,16 +194,44 @@ impl Geometry {
     //
     // Geometry is a pure function of the *reserved* span, so the
     // desc↔sb shift/mask correspondence never changes as the heap grows;
-    // the committed frontier only bounds how much of the superblock
-    // array is currently backed.
+    // the committed frontiers only bound how much of the descriptor and
+    // superblock regions is currently backed. Since v5 the two regions
+    // carry *independent* persisted frontiers: the superblock frontier
+    // (`COMMITTED_LEN_OFF`) lives in `[sb_off, pool_len]` and the
+    // descriptor frontier (`DESC_COMMITTED_LEN_OFF`) in
+    // `[desc_off, sb_off]`, so neither is derived from the other through
+    // the region ratio.
 
-    /// The smallest legal committed frontier: metadata plus the *whole*
-    /// descriptor region (descriptors are 1/1024th of their superblocks,
-    /// so committing them all upfront is cheap and keeps every
-    /// descriptor access frontier-free).
+    /// The smallest legal *superblock-region* committed frontier: the
+    /// superblock array's base offset (zero superblocks committed). Also
+    /// the smallest physical pool prefix a heap image can have, since
+    /// the metadata and descriptor regions precede the superblock array.
     #[inline]
     pub fn min_committed(&self) -> usize {
         self.sb_off
+    }
+
+    /// The smallest legal *descriptor-region* committed frontier: the
+    /// descriptor array's base offset (zero descriptors committed).
+    #[inline]
+    pub fn min_desc_committed(&self) -> usize {
+        self.desc_off
+    }
+
+    /// Number of descriptors fully covered by a descriptor-region
+    /// frontier of `desc_frontier` bytes (clamped to capacity).
+    #[inline]
+    pub fn desc_committed_sb(&self, desc_frontier: usize) -> usize {
+        (desc_frontier.saturating_sub(self.desc_off) / DESC_SIZE).min(self.max_sb)
+    }
+
+    /// The descriptor-region frontier (bytes) needed to back the first
+    /// `sbs` descriptors. Always `<= sb_off` (the descriptor region's
+    /// alignment slack before the superblock array is never needed).
+    #[inline]
+    pub fn desc_committed_len_for_sb(&self, sbs: usize) -> usize {
+        debug_assert!(sbs <= self.max_sb);
+        self.desc_off + sbs * DESC_SIZE
     }
 
     /// Number of superblocks fully covered by a committed frontier of
@@ -308,9 +369,42 @@ mod tests {
         // (Ring-fits-the-slack and v3-slack-unused are compile-time
         // `const _` asserts next to the constants themselves.)
         // Versions differ only in the low byte of the magic.
+        assert_eq!(MAGIC & !0xFF, MAGIC_V4 & !0xFF);
         assert_eq!(MAGIC & !0xFF, MAGIC_V3 & !0xFF);
-        assert_eq!(MAGIC & 0xFF, 4);
+        assert_eq!(MAGIC & 0xFF, 5);
+        assert_eq!(MAGIC_V4 & 0xFF, 4);
         assert_eq!(MAGIC_V3 & 0xFF, 3);
+    }
+
+    #[test]
+    fn desc_frontier_word_sits_in_the_header_gap() {
+        // The descriptor frontier claims the previously-zeroed slack word
+        // between the superblock frontier and the roots — which is what
+        // makes the v4→v5 migration a two-word rewrite.
+        assert_eq!(DESC_COMMITTED_LEN_OFF, COMMITTED_LEN_OFF + 8);
+        const { assert!(DESC_COMMITTED_LEN_OFF + 8 <= ROOTS_OFF) };
+    }
+
+    #[test]
+    fn desc_committed_views_round_trip_and_clamp() {
+        let g = Geometry::from_pool_len(64 << 20);
+        assert_eq!(g.desc_committed_sb(g.min_desc_committed()), 0);
+        assert_eq!(g.desc_committed_sb(0), 0, "frontier below desc_off covers nothing");
+        for sbs in [0usize, 1, 7, g.max_sb] {
+            let len = g.desc_committed_len_for_sb(sbs);
+            assert_eq!(g.desc_committed_sb(len), sbs);
+            if sbs < g.max_sb {
+                // A partially-covered descriptor does not count.
+                assert_eq!(g.desc_committed_sb(len + DESC_SIZE - 1), sbs);
+            }
+        }
+        assert_eq!(g.desc_committed_sb(usize::MAX), g.max_sb, "clamped to capacity");
+        assert!(
+            g.desc_committed_len_for_sb(g.max_sb) <= g.sb_off,
+            "full descriptor commit fits before the superblock array"
+        );
+        // The two regions' frontier domains only meet at sb_off.
+        assert!(g.min_desc_committed() < g.min_committed());
     }
 
     #[test]

@@ -422,7 +422,7 @@ mod tests {
     }
 
     #[test]
-    fn v3_clean_image_migrates_in_place_to_v4() {
+    fn v3_clean_image_migrates_in_place_through_the_chain_to_v5() {
         let heap = small_heap();
         let p = heap.malloc(64);
         unsafe { std::ptr::write(p as *mut u64, 0xFEED) };
@@ -430,18 +430,50 @@ mod tests {
         heap.close().unwrap();
         let mut image = heap.pool().persistent_image();
         // Fabricate the v3 on-disk format: identical geometry, version
-        // byte 3, flight slack never written.
+        // byte 3, flight slack and descriptor-frontier word never written.
         image[0] = 3;
+        image[layout::DESC_COMMITTED_LEN_OFF..layout::DESC_COMMITTED_LEN_OFF + 8].fill(0);
         image[layout::FLIGHT_OFF..layout::META_SIZE].fill(0);
 
         let (heap2, dirty) = Ralloc::from_image(&image, RallocConfig::default());
         assert!(!dirty, "clean v3 images migrate without recovery");
         let q = heap2.get_root::<u64>(0);
         assert_eq!(unsafe { *q }, 0xFEED, "migration must not disturb heap data");
-        // The migrated heap has a live flight ring and persists as v4.
+        // The migrated heap has a live flight ring and persists as v5
+        // (the v3→v4 and v4→v5 recipes chain in one open).
         #[cfg(not(feature = "telemetry-off"))]
         assert_eq!(heap2.flight_timeline().events.first().unwrap().kind_name(), "open");
-        assert_eq!(heap2.pool().persistent_image()[0], 4);
+        assert_eq!(heap2.pool().persistent_image()[0], 5);
+    }
+
+    #[test]
+    fn v4_clean_image_migrates_in_place_to_v5() {
+        let heap = small_heap();
+        let p = heap.malloc(64);
+        unsafe { std::ptr::write(p as *mut u64, 0xBEEF) };
+        heap.set_root::<u64>(0, p as *const u64);
+        heap.close().unwrap();
+        let mut image = heap.pool().persistent_image();
+        // Fabricate the v4 on-disk format: identical geometry and flight
+        // ring, version byte 4, descriptor-frontier header slack zeroed.
+        image[0] = 4;
+        image[layout::DESC_COMMITTED_LEN_OFF..layout::DESC_COMMITTED_LEN_OFF + 8].fill(0);
+
+        let (heap2, dirty) = Ralloc::from_image(&image, RallocConfig::default());
+        assert!(!dirty, "clean v4 images migrate without recovery");
+        let q = heap2.get_root::<u64>(0);
+        assert_eq!(unsafe { *q }, 0xBEEF, "migration must not disturb heap data");
+        assert_eq!(heap2.pool().persistent_image()[0], 5);
+        // The migrated descriptor frontier is the v4 semantics: the whole
+        // descriptor region committed.
+        let word = u64::from_ne_bytes(
+            heap2.pool().persistent_image()
+                [layout::DESC_COMMITTED_LEN_OFF..layout::DESC_COMMITTED_LEN_OFF + 8]
+                .try_into()
+                .unwrap(),
+        );
+        let geo = layout::Geometry::from_pool_len(heap2.pool().len());
+        assert_eq!(word as usize, geo.sb_off);
     }
 
     #[test]
@@ -451,7 +483,19 @@ mod tests {
         let _ = heap.malloc(64);
         let mut image = heap.pool().persistent_image(); // no close(): dirty
         image[0] = 3;
+        image[layout::DESC_COMMITTED_LEN_OFF..layout::DESC_COMMITTED_LEN_OFF + 8].fill(0);
         image[layout::FLIGHT_OFF..layout::META_SIZE].fill(0);
+        let _ = Ralloc::from_image(&image, RallocConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "version 4 and is dirty")]
+    fn v4_dirty_image_is_refused_not_migrated() {
+        let heap = small_heap();
+        let _ = heap.malloc(64);
+        let mut image = heap.pool().persistent_image(); // no close(): dirty
+        image[0] = 4;
+        image[layout::DESC_COMMITTED_LEN_OFF..layout::DESC_COMMITTED_LEN_OFF + 8].fill(0);
         let _ = Ralloc::from_image(&image, RallocConfig::default());
     }
 
@@ -470,6 +514,43 @@ mod tests {
         let image = heap.pool().persistent_image();
         let (_heap2, dirty) = Ralloc::from_image(&image, RallocConfig::default());
         assert!(dirty, "missing close() must flag a dirty restart");
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn remote_ring_gauges_reach_every_export_surface() {
+        let cfg = RallocConfig { partial_shards: 4, ..RallocConfig::default() };
+        let heap = Ralloc::create(8 << 20, cfg);
+        // Producer/consumer shape: every free is remote, so consumer-side
+        // cache flushes push batches onto the rings.
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        std::thread::scope(|s| {
+            {
+                let heap = heap.clone();
+                s.spawn(move || {
+                    for p in rx {
+                        heap.free(p as *mut u8);
+                    }
+                });
+            }
+            for _ in 0..4000 {
+                let p = heap.malloc(64);
+                assert!(!p.is_null());
+                tx.send(p as usize).unwrap();
+            }
+            drop(tx);
+        });
+        let snapshot = heap.telemetry_snapshot();
+        assert!(snapshot.contains("\"remote_ring_occupancy\""), "snapshot: {snapshot}");
+        assert!(snapshot.contains("\"remote_ring_high_water\""), "snapshot: {snapshot}");
+        let prom = heap.telemetry_prometheus();
+        assert!(prom.contains("heap_remote_ring_occupancy"), "prometheus: {prom}");
+        assert!(prom.contains("heap_remote_ring_high_water"), "prometheus: {prom}");
+        // When the workload actually pushed batches, the high-water mark
+        // must have registered them (per-ring gauges appear too).
+        if heap.telemetry().counter_value("remote_ring_pushes").unwrap_or(0) > 0 {
+            assert!(prom.contains("_s"), "per-ring gauge expected: {prom}");
+        }
     }
 
     #[test]

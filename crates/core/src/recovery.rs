@@ -144,6 +144,16 @@ pub(crate) fn recover_with(inner: &HeapInner, threads: usize) -> RecoveryStats {
          ({} bytes) — corrupt image",
         pool.committed_len()
     );
+    // Same rule against the descriptor region's own frontier (v5): every
+    // used superblock's descriptor must sit under the durable descriptor
+    // frontier, because `grow_desc` fences its word before `used` may
+    // rise past it. `reload_frontier` above already refreshed the runtime
+    // safe-frontier from the surviving word.
+    assert!(
+        used <= inner.desc_committed_sb(),
+        "recovery: used superblocks ({used}) have descriptors past the \
+         descriptor frontier — corrupt image"
+    );
 
     // Bins parked by pre-crash thread exits are DRAM state: their blocks
     // are about to be reclaimed (or kept) by the trace like any other

@@ -70,6 +70,10 @@ pub(crate) struct RemoteRing {
     pushed: AtomicU64,
     /// Batches that left the ring (drained or displaced).
     drained: AtomicU64,
+    /// Highest in-flight batch count ever observed by a push (a gauge
+    /// for capacity tuning: a high-water near the slot count means the
+    /// ring is displacing and its capacity is the bottleneck).
+    high_water: AtomicU64,
 }
 
 impl RemoteRing {
@@ -82,6 +86,7 @@ impl RemoteRing {
             tail: AtomicU64::new(0),
             pushed: AtomicU64::new(0),
             drained: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -100,6 +105,19 @@ impl RemoteRing {
         self.pushed.load(Ordering::Acquire) != self.drained.load(Ordering::Acquire)
     }
 
+    /// Batches currently in flight (pushed, not yet drained). Racy by
+    /// nature — a telemetry read, not a synchronization primitive.
+    pub fn occupancy(&self) -> u64 {
+        self.pushed
+            .load(Ordering::Acquire)
+            .saturating_sub(self.drained.load(Ordering::Acquire))
+    }
+
+    /// Highest occupancy any push has observed over the ring's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Acquire)
+    }
+
     /// Producer push: one relaxed `fetch_add` + one `swap`, zero CAS,
     /// wait-free. When the ring has lapped an undrained slot, the
     /// displaced batch is returned and the **caller owns it**: it must
@@ -107,7 +125,11 @@ impl RemoteRing {
     /// lost to overflow.
     pub fn push(&self, batch: Box<RemoteBatch>) -> Option<Box<RemoteBatch>> {
         debug_assert!(!batch.blocks.is_empty());
-        self.pushed.fetch_add(1, Ordering::Release);
+        let pushed = self.pushed.fetch_add(1, Ordering::Release) + 1;
+        // High-water from the producer side only: one relaxed read plus a
+        // fetch_max that loses nothing the fast path depends on.
+        let occ = pushed.saturating_sub(self.drained.load(Ordering::Relaxed));
+        self.high_water.fetch_max(occ, Ordering::Relaxed);
         let t = self.tail.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(t as usize) & self.mask];
         let prev = slot.swap(Box::into_raw(batch) as usize, Ordering::AcqRel);
@@ -191,6 +213,33 @@ mod tests {
         assert_eq!(got, vec![(3, 2), (7, 1)]);
         assert!(!ring.maybe_pending());
         assert_eq!(ring.drain(|_| -> bool { panic!("ring must be empty") }), 0);
+    }
+
+    #[test]
+    fn occupancy_and_high_water_track_traffic() {
+        let ring = RemoteRing::new(8);
+        assert_eq!((ring.occupancy(), ring.high_water()), (0, 0));
+        let _ = ring.push(batch(0, &[8]));
+        let _ = ring.push(batch(1, &[8]));
+        assert_eq!((ring.occupancy(), ring.high_water()), (2, 2));
+        ring.drain(|_| true);
+        // Occupancy falls with the drain; the high-water mark does not.
+        assert_eq!((ring.occupancy(), ring.high_water()), (0, 2));
+        let _ = ring.push(batch(2, &[8]));
+        assert_eq!((ring.occupancy(), ring.high_water()), (1, 2));
+    }
+
+    #[test]
+    fn high_water_saturates_at_capacity_under_displacement() {
+        let ring = RemoteRing::new(2);
+        for sb in 0..6u32 {
+            let _ = ring.push(batch(sb, &[8]));
+        }
+        // Displacement returns a batch per lapped push, so in-flight
+        // never exceeds capacity + 1 (the instant between the push
+        // count bump and the displacing swap).
+        assert!(ring.high_water() <= ring.capacity() as u64 + 1);
+        assert_eq!(ring.occupancy(), 2);
     }
 
     #[test]

@@ -232,7 +232,12 @@ fn with_heap_tls_miss<R>(
     make_weak: impl FnOnce() -> Weak<HeapInner>,
     f: impl FnOnce(&mut HeapTls) -> R,
 ) -> R {
-    TLS.with(|tls| {
+    // `f`/`make_weak` are FnOnce: park them in Options so whichever
+    // branch runs (the store closure or the teardown fallback) can take
+    // them exactly once.
+    let mut f = Some(f);
+    let mut make_weak = Some(make_weak);
+    let attempt = TLS.try_with(|tls| {
         let mut store = tls.borrow_mut();
         let gen = heap.generation();
         let id = heap.id();
@@ -246,24 +251,51 @@ fn with_heap_tls_miss<R>(
                     // the GC), so the cache must be discarded, not reused.
                     // Overwrite in place: the box (and any fast-slot
                     // pointer to it) stays valid.
-                    **e = HeapTls::new(id, gen, make_weak());
+                    **e = HeapTls::new(id, gen, make_weak.take().unwrap()());
                 }
                 e
             }
             None => {
-                store.entries.push(Box::new(HeapTls::new(id, gen, make_weak())));
+                store
+                    .entries
+                    .push(Box::new(HeapTls::new(id, gen, make_weak.take().unwrap()())));
                 store.entries.last_mut().unwrap()
             }
         };
         let ptr: *mut HeapTls = &mut **entry;
         FAST.set((id, ptr));
-        f(entry)
-    })
+        f.take().unwrap()(entry)
+    });
+    match attempt {
+        Ok(r) => r,
+        // `TLS` has already been destroyed: this allocation is running
+        // inside another TLS destructor (a `#[global_allocator]` built on
+        // this heap makes that an everyday event — any thread-local with
+        // a Drop that frees memory lands here). Serve it through a
+        // transient one-shot cache set and flush the blocks straight back
+        // so nothing leaks when the box dies at the end of this call.
+        // `FAST` is left alone: it is const-initialized (no destructor,
+        // always accessible) but must never point at this transient box.
+        Err(_) => {
+            let mut entry =
+                Box::new(HeapTls::new(heap.id(), heap.generation(), make_weak.take().unwrap()()));
+            let r = f.take().unwrap()(&mut entry);
+            let (generation, closed) = heap.begin_exit_drain();
+            if generation == entry.generation && !closed {
+                heap.drain_tls(&mut entry, false);
+            }
+            heap.end_exit_drain();
+            r
+        }
+    }
 }
 
 /// Drain and remove this thread's cache set for `heap` (used by `close`).
+/// A no-op once this thread's store has been destroyed (e.g. `close`
+/// driven from an `atexit` handler after TLS teardown): the store's own
+/// destructor already drained everything.
 pub(crate) fn drain_current_thread(heap: &HeapInner) {
-    TLS.with(|tls| {
+    let _ = TLS.try_with(|tls| {
         let mut store = tls.borrow_mut();
         if let Some(p) = store.entries.iter().position(|e| e.heap_id == heap.id()) {
             FAST.set((0, std::ptr::null_mut()));
@@ -274,16 +306,16 @@ pub(crate) fn drain_current_thread(heap: &HeapInner) {
                 heap.drain_tls(&mut entry, false);
             }
         }
-    })
+    });
 }
 
 /// Discard (without draining) this thread's cache set for `heap`.
 pub(crate) fn discard_current_thread(heap: &HeapInner) {
-    TLS.with(|tls| {
+    let _ = TLS.try_with(|tls| {
         let mut store = tls.borrow_mut();
         FAST.set((0, std::ptr::null_mut()));
         store.entries.retain(|e| e.heap_id != heap.id());
-    })
+    });
 }
 
 #[cfg(test)]

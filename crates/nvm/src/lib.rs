@@ -45,7 +45,7 @@ pub mod sys;
 
 pub use crash::{CrashAction, CrashInjector, CrashPoint, CRASH_POINT_MSG};
 pub use flush::FlushModel;
-pub use pool::{CrashStyle, Mode, PmemPool, PoolGuard};
+pub use pool::{CrashStyle, Mode, PmemPool, PoolGuard, RegionSpec};
 pub use stats::PmemStats;
 
 /// Cache line size assumed throughout: flush granularity, descriptor

@@ -61,6 +61,30 @@ struct TrackState {
     pending: HashMap<usize, [u8; CACHE_LINE]>,
 }
 
+/// A caller-defined sub-span of the pool for [`PmemPool::define_regions`]:
+/// `[start, end)` with its own initial committed frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// First byte of the region (inclusive).
+    pub start: usize,
+    /// One past the last byte of the region (exclusive).
+    pub end: usize,
+    /// Initial committed frontier, `start <= committed <= end`.
+    pub committed: usize,
+}
+
+/// A live region: a fixed sub-span with an independently movable
+/// committed frontier. The *physical* pool prefix (file length / backed
+/// pages) is the maximum committed end across regions; because regions
+/// are ordered, an interior region's frontier is pure accounting over
+/// already-backed bytes, while the last region's frontier drives the
+/// physical prefix.
+struct Region {
+    start: usize,
+    end: usize,
+    committed: AtomicUsize,
+}
+
 #[cfg(unix)]
 fn raw_fd(f: &fs::File) -> i32 {
     use std::os::fd::AsRawFd;
@@ -191,8 +215,16 @@ enum Backing {
 pub struct PmemPool {
     base: *mut u8,
     len: usize,
-    /// Committed frontier in bytes (monotone, `<= len`).
+    /// *Physical* committed frontier in bytes (monotone online,
+    /// `<= len`): the prefix that is backed (file length for mapped
+    /// pools). With regions defined this is always the maximum committed
+    /// end across regions.
     committed: AtomicUsize,
+    /// Optional multi-region partition of the span, set once by
+    /// [`PmemPool::define_regions`]. When present, per-region frontiers
+    /// gate fine-grained access ([`PmemPool::check_range`]) and the
+    /// region commit/decommit entry points replace the whole-pool ones.
+    regions: std::sync::OnceLock<Box<[Region]>>,
     backing: Backing,
     /// Advisory lock on the pool file, held for the pool's lifetime when
     /// the pool was opened from a path (mapped or load/save style).
@@ -263,6 +295,7 @@ impl PmemPool {
             base,
             len,
             committed: AtomicUsize::new(committed),
+            regions: std::sync::OnceLock::new(),
             backing: Backing::Heap(layout),
             guard: Mutex::new(None),
             mode,
@@ -334,6 +367,7 @@ impl PmemPool {
             base,
             len,
             committed: AtomicUsize::new(committed),
+            regions: std::sync::OnceLock::new(),
             backing: Backing::File { file, remap: Mutex::new(()) },
             guard: Mutex::new(Some(guard)),
             mode: Mode::Direct,
@@ -390,11 +424,155 @@ impl PmemPool {
         self.len == 0
     }
 
-    /// The committed frontier: bytes `0..committed_len()` are usable;
-    /// loads, stores, flushes and crash imaging are confined to them.
+    /// The *physical* committed frontier: bytes `0..committed_len()` are
+    /// backed; flushes, crash imaging, and save/load are confined to
+    /// them. With regions defined this is the maximum committed end
+    /// across regions; fine-grained usability is further gated by the
+    /// per-region frontiers (see [`PmemPool::check_range`]).
     #[inline]
     pub fn committed_len(&self) -> usize {
         self.committed.load(Ordering::Acquire)
+    }
+
+    // ---- multi-region partition ----
+
+    /// Partition the reserved span into independently committed regions.
+    ///
+    /// Regions must be ordered, contiguous, and tile the whole span;
+    /// each initial frontier must lie within its region, and the *last*
+    /// region's frontier must equal the current physical frontier (the
+    /// physical prefix is the maximum committed end and regions are
+    /// ordered, so the last region carries it; interior regions are
+    /// physically backed by virtue of lying under that prefix, and their
+    /// frontiers are access-gating accounting with the same grow/shrink
+    /// protocol obligations).
+    ///
+    /// Callable at most once, before concurrent use of the pool.
+    pub fn define_regions(&self, specs: &[RegionSpec]) {
+        assert!(!specs.is_empty(), "empty region partition");
+        let mut prev_end = 0usize;
+        for s in specs {
+            assert_eq!(s.start, prev_end, "regions must tile the span without gaps");
+            assert!(s.end > s.start, "empty region {s:?}");
+            assert!(s.end <= self.len, "region {s:?} exceeds reserved span {}", self.len);
+            assert!(
+                s.committed >= s.start && s.committed <= s.end,
+                "region frontier out of bounds: {s:?}"
+            );
+            prev_end = s.end;
+        }
+        assert_eq!(prev_end, self.len, "regions must cover the reserved span");
+        let last = specs.last().unwrap();
+        assert_eq!(
+            line_up(last.committed.max(CACHE_LINE)),
+            self.committed_len(),
+            "last region's frontier must equal the physical prefix"
+        );
+        let regions: Box<[Region]> = specs
+            .iter()
+            .map(|s| Region {
+                start: s.start,
+                end: s.end,
+                committed: AtomicUsize::new(line_up(s.committed).min(s.end)),
+            })
+            .collect();
+        assert!(self.regions.set(regions).is_ok(), "pool regions already defined");
+    }
+
+    /// Number of defined regions (0 when the pool is unpartitioned).
+    pub fn region_count(&self) -> usize {
+        self.regions.get().map_or(0, |r| r.len())
+    }
+
+    /// Region `idx`'s committed frontier (absolute bytes).
+    pub fn region_committed(&self, idx: usize) -> usize {
+        let regions = self.regions.get().expect("no regions defined");
+        regions[idx].committed.load(Ordering::Acquire)
+    }
+
+    /// Region `idx`'s fixed `[start, end)` bounds.
+    pub fn region_bounds(&self, idx: usize) -> (usize, usize) {
+        let regions = self.regions.get().expect("no regions defined");
+        (regions[idx].start, regions[idx].end)
+    }
+
+    /// Grow region `idx`'s committed frontier to at least `new_len`
+    /// (absolute bytes, rounded up to a cache line). Monotonic, never
+    /// past the region's end. The physical prefix is raised first when
+    /// the target outruns it (only possible for the last region), so the
+    /// accounting frontier never exposes unbacked bytes. Returns the
+    /// resulting frontier.
+    pub fn commit_region_to(&self, idx: usize, new_len: usize) -> usize {
+        let regions = self.regions.get().expect("no regions defined");
+        let r = &regions[idx];
+        let new_len = line_up(new_len);
+        assert!(
+            new_len >= r.start && new_len <= r.end,
+            "commit_region_to({idx}, {new_len}) outside region [{}, {})",
+            r.start,
+            r.end
+        );
+        if new_len > self.committed.load(Ordering::Acquire) {
+            self.physical_commit_to(new_len);
+        }
+        r.committed.fetch_max(new_len, Ordering::AcqRel).max(new_len)
+    }
+
+    /// Shrink region `idx`'s committed frontier to `new_len` (absolute
+    /// bytes), releasing the region's tail. For the last region this is
+    /// a physical release (pages returned, file truncated) exactly like
+    /// [`PmemPool::decommit_to`]; for an interior region the bytes stay
+    /// physically backed (they are interior to the pool prefix) but the
+    /// released range is zeroed — volatile image, pending flushes, and
+    /// shadow — so a later re-commit observes fresh zero pages and no
+    /// stale data can resurrect through a crash. Growing requests are
+    /// no-ops. Quiescence contract as for [`PmemPool::decommit_to`].
+    pub fn decommit_region_to(&self, idx: usize, new_len: usize) -> usize {
+        let regions = self.regions.get().expect("no regions defined");
+        let r = &regions[idx];
+        let new_len = line_up(new_len.max(r.start).max(CACHE_LINE));
+        if idx == regions.len() - 1 {
+            // CAS-min the accounting frontier, then release physically.
+            let mut cur = r.committed.load(Ordering::Acquire);
+            loop {
+                if new_len >= cur {
+                    return cur;
+                }
+                match r.committed.compare_exchange(
+                    cur,
+                    new_len,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(c) => cur = c,
+                }
+            }
+            return self.physical_decommit_to(new_len);
+        }
+        if let Some(inj) = &self.injector {
+            inj.on_event();
+        }
+        let mut cur = r.committed.load(Ordering::Acquire);
+        loop {
+            if new_len >= cur {
+                return cur;
+            }
+            match r.committed.compare_exchange(cur, new_len, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        // SAFETY: new_len..cur is interior to the physically backed
+        // prefix; quiescence is the caller's contract.
+        unsafe { std::ptr::write_bytes(self.base.add(new_len), 0, cur - new_len) };
+        if let Some(t) = &self.tracked {
+            let mut st = t.lock();
+            st.pending.retain(|line, _| line + CACHE_LINE <= new_len || *line >= cur);
+            st.shadow[new_len..cur].fill(0);
+        }
+        new_len
     }
 
     /// Grow the committed frontier to cover at least `new_len` bytes
@@ -406,8 +584,18 @@ impl PmemPool {
     /// persists its frontier word before relying on the new space).
     ///
     /// # Panics
-    /// If `new_len` exceeds the reserved span.
+    /// If `new_len` exceeds the reserved span, or if the pool has been
+    /// partitioned with [`PmemPool::define_regions`] (use
+    /// [`PmemPool::commit_region_to`] then).
     pub fn commit_to(&self, new_len: usize) -> usize {
+        assert!(
+            self.regions.get().is_none(),
+            "pool has regions defined: use commit_region_to"
+        );
+        self.physical_commit_to(new_len)
+    }
+
+    fn physical_commit_to(&self, new_len: usize) -> usize {
         let new_len = line_up(new_len);
         assert!(
             new_len <= self.len,
@@ -467,7 +655,20 @@ impl PmemPool {
     /// caller's business — the allocator persists its frontier word
     /// *before* decommitting, so a crash at any point leaves a frontier
     /// at least as large as every persisted use of the space.
+    ///
+    /// # Panics
+    /// If the pool has been partitioned with
+    /// [`PmemPool::define_regions`] (use
+    /// [`PmemPool::decommit_region_to`] then).
     pub fn decommit_to(&self, new_len: usize) -> usize {
+        assert!(
+            self.regions.get().is_none(),
+            "pool has regions defined: use decommit_region_to"
+        );
+        self.physical_decommit_to(new_len)
+    }
+
+    fn physical_decommit_to(&self, new_len: usize) -> usize {
         let new_len = line_up(new_len.max(CACHE_LINE));
         if let Some(inj) = &self.injector {
             inj.on_event();
@@ -555,13 +756,30 @@ impl PmemPool {
         self.crashes.load(Ordering::Relaxed)
     }
 
-    /// True if `off..off+len` lies within the *committed* prefix of the
-    /// pool. Reserved-but-uncommitted space is out of range until
-    /// [`PmemPool::commit_to`] covers it.
+    /// True if `off..off+len` lies within *committed* space. Always
+    /// bounded by the physical prefix; with regions defined, a range
+    /// falling inside a single region is further gated by that region's
+    /// own frontier (uncommitted region tail is out of range even though
+    /// it may be physically backed under the prefix), while a range
+    /// spanning regions is a bulk operation — wholesale write-back,
+    /// image save — gated by the physical prefix alone.
     #[inline]
     pub fn check_range(&self, off: usize, len: usize) -> bool {
         let committed = self.committed.load(Ordering::Acquire);
-        off <= committed && len <= committed - off
+        if off > committed || len > committed - off {
+            return false;
+        }
+        if let Some(regions) = self.regions.get() {
+            for r in regions.iter() {
+                if off >= r.start && off < r.end {
+                    if off + len <= r.end {
+                        return off + len <= r.committed.load(Ordering::Acquire);
+                    }
+                    break;
+                }
+            }
+        }
+        true
     }
 
     /// Raw pointer to offset `off`.

@@ -30,8 +30,9 @@ use ralloc::anchor::SbState;
 use ralloc::descriptor::{Desc, DescKind};
 use ralloc::flight;
 use ralloc::layout::{
-    Geometry, COMMITTED_LEN_OFF, DIRTY_OFF, FLIGHT_CAP, FLIGHT_MAGIC, FLIGHT_OFF, MAGIC,
-    MAGIC_OFF, MAGIC_V3, MAX_SB_OFF, META_SIZE, NUM_ROOTS, POOL_LEN_OFF, USED_SB_OFF,
+    Geometry, COMMITTED_LEN_OFF, DESC_COMMITTED_LEN_OFF, DIRTY_OFF, FLIGHT_CAP, FLIGHT_MAGIC,
+    FLIGHT_OFF, MAGIC, MAGIC_OFF, MAGIC_V3, MAGIC_V4, MAX_SB_OFF, META_SIZE, NUM_ROOTS,
+    POOL_LEN_OFF, USED_SB_OFF,
 };
 use ralloc::{FlightScan, Ralloc, RallocConfig};
 use std::sync::atomic::Ordering;
@@ -78,12 +79,13 @@ pub fn dump(image: &[u8]) -> String {
         return s;
     };
     let version = match magic {
-        MAGIC => "v4 (current)",
+        MAGIC => "v5 (current)",
+        MAGIC_V4 => "v4 (migratable: descriptor frontier not yet framed)",
         MAGIC_V3 => "v3 (migratable: flight ring not yet carved)",
         _ => "not a Ralloc image",
     };
     s.push_str(&format!("magic:            {magic:#018x}  {version}\n"));
-    if magic != MAGIC && magic != MAGIC_V3 {
+    if magic != MAGIC && magic != MAGIC_V4 && magic != MAGIC_V3 {
         return s;
     }
     let pool_len = word(image, POOL_LEN_OFF).unwrap_or(0);
@@ -110,7 +112,7 @@ pub fn dump(image: &[u8]) -> String {
         used_sb.map_or("<unreadable>".into(), |v| v.to_string())
     ));
     s.push_str(&format!(
-        "committed len:    {}{}\n",
+        "sb frontier:      {}{}\n",
         committed.map_or("<unreadable>".into(), |v| v.to_string()),
         if committed.is_some_and(|c| c as usize > image.len()) {
             "  (EXCEEDS the file: truncated image)"
@@ -118,6 +120,17 @@ pub fn dump(image: &[u8]) -> String {
             ""
         }
     ));
+    // The descriptor-frontier word exists only from v5 on; a v4/v3 image
+    // keeps that header slack zeroed and commits its whole descriptor
+    // region implicitly.
+    if magic == MAGIC {
+        s.push_str(&format!(
+            "desc frontier:    {}\n",
+            word(image, DESC_COMMITTED_LEN_OFF).map_or("<unreadable>".into(), |v| v.to_string()),
+        ));
+    } else {
+        s.push_str("desc frontier:    implicit (pre-v5: whole descriptor region committed)\n");
+    }
     if pool_len >= Geometry::pool_len_for_capacity(1) as u64 {
         let geo = Geometry::from_pool_len(pool_len as usize);
         s.push_str(&format!(
@@ -127,6 +140,16 @@ pub fn dump(image: &[u8]) -> String {
             geo.sb(0),
             geo.sb(0),
         ));
+        if magic == MAGIC {
+            let dw = word(image, DESC_COMMITTED_LEN_OFF).unwrap_or(0) as usize;
+            let ok = dw >= geo.desc(0) && dw <= geo.sb(0);
+            s.push_str(&format!(
+                "desc committed:   {} of {} descriptors{}\n",
+                geo.desc_committed_sb(dw),
+                geo.max_sb,
+                if ok { "" } else { "  (frontier OUTSIDE the descriptor region)" },
+            ));
+        }
     }
     let roots_set = (0..NUM_ROOTS)
         .filter(|&i| {

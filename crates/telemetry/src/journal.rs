@@ -64,6 +64,15 @@ pub enum EventKind {
     /// superblock, b = its block count). The heap keeps working, but the
     /// producer side is degraded from wait-free pushes to anchor CASes.
     RemoteRingOverflow = 15,
+    /// Descriptor-region frontier grow: new descriptor span committed and
+    /// its frontier word fenced (a = new descriptor frontier in bytes).
+    GrowDescCommit = 16,
+    /// Descriptor-region frontier grow: frontier published to carvers
+    /// (a = published descriptor frontier in bytes).
+    GrowDescPublish = 17,
+    /// Descriptor-region frontier shrink: word lowered, fenced, and the
+    /// region tail released (a = released bytes, b = new frontier).
+    ShrinkDescDecommit = 18,
 }
 
 impl EventKind {
@@ -87,6 +96,9 @@ impl EventKind {
             13 => EventKind::Open,
             14 => EventKind::Close,
             15 => EventKind::RemoteRingOverflow,
+            16 => EventKind::GrowDescCommit,
+            17 => EventKind::GrowDescPublish,
+            18 => EventKind::ShrinkDescDecommit,
             _ => return None,
         })
     }
@@ -109,6 +121,9 @@ impl EventKind {
             EventKind::Open => "open",
             EventKind::Close => "close",
             EventKind::RemoteRingOverflow => "remote_ring_overflow",
+            EventKind::GrowDescCommit => "grow_desc_commit",
+            EventKind::GrowDescPublish => "grow_desc_publish",
+            EventKind::ShrinkDescDecommit => "shrink_desc_decommit",
         }
     }
 }
